@@ -1,0 +1,37 @@
+"""Shared benchmark plumbing.
+
+Every benchmark regenerates one paper artifact (a Fig. 8 panel, Table 1,
+Fig. 9, or an ablation from DESIGN.md §4), prints the same rows/series
+the paper reports, and archives the rendered text under ``results/`` so
+EXPERIMENTS.md can reference a stable copy.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+def emit(name: str, text: str, capsys=None) -> None:
+    """Print a rendered artifact (visible even under capture) and save it."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if capsys is not None:
+        with capsys.disabled():
+            print()
+            print(text)
+    else:  # pragma: no cover
+        print(text)
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing.
+
+    The simulations are deterministic and long; statistical repetition
+    would only re-measure the host machine, so one round is the right
+    trade-off."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

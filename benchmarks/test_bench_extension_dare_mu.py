@@ -1,0 +1,72 @@
+"""Extension benchmark: the whole RDMA consensus lineage on one axis.
+
+§5 discusses two systems the paper does not benchmark — DARE (the
+ancestor, superseded by APUS) and Mu ("incapable of running on our RoCE
+cluster").  The simulation has neither constraint, so this bench runs
+the comparison the paper's related-work section argues qualitatively:
+
+- normal-path latency:   mu < acuerdo < dare < apus
+  (completion-as-ack beats SST round; fine-grained completions and
+  single-batch pipelines cost progressively more);
+- fail-over downtime:    acuerdo << mu
+  (Mu must close and re-establish its exclusive connections; Acuerdo's
+  election is a few SST rounds plus a diff);
+- DARE elections can split votes; Acuerdo's monotone votes cannot.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.harness.factory import build_system, settle
+from repro.harness.fig8 import fig8_point
+from repro.harness.render import render_table
+from repro.sim import Engine, ms, us
+from repro.workloads.openloop import OpenLoopClient
+
+LINEAGE = ["mu", "acuerdo", "dare", "apus"]
+
+
+def _latency_row(name: str) -> list:
+    p = fig8_point(name, 3, 10, window=1, min_completions=250)
+    return [name, round(p.mean_latency_us, 1), round(p.p99_latency_us, 1),
+            round(p.throughput_mb_s, 3)]
+
+
+def _failover_ms(name: str, seed: int) -> float:
+    engine = Engine(seed=seed)
+    system = build_system(name, engine, 5)
+    settle(system, preseed=False)
+    client = OpenLoopClient(system, period_ns=us(50), message_size=10)
+    client.start()
+    engine.run(until=engine.now + ms(5))
+    ldr = system.leader_id()
+    system.crash(ldr)
+    engine.run(until=engine.now + ms(60))
+    client.stop()
+    return client.longest_commit_gap() / 1e6
+
+
+def _run() -> dict:
+    rows = [_latency_row(name) for name in LINEAGE]
+    fo = {name: sum(_failover_ms(name, s) for s in (21, 22)) / 2
+          for name in ("acuerdo", "mu")}
+    return {"rows": rows, "failover": fo}
+
+
+def test_rdma_lineage(benchmark, capsys):
+    r = run_once(benchmark, _run)
+    table = render_table(
+        "Extension: RDMA consensus lineage, 3 nodes / 10 B / window 1 "
+        "(incl. Mu, which the paper's RoCE cluster could not run)",
+        ["system", "mean_lat_us", "p99_lat_us", "tput_MB_s"], r["rows"])
+    fo_table = render_table(
+        "Extension: fail-over downtime (5 nodes, leader crashed)",
+        ["system", "downtime_ms"],
+        [[k, round(v, 2)] for k, v in r["failover"].items()])
+    emit("extension_dare_mu", table + "\n\n" + fo_table, capsys)
+
+    lat = {row[0]: row[1] for row in r["rows"]}
+    # Normal path: mu fastest, then acuerdo, then dare, then apus.
+    assert lat["mu"] < lat["acuerdo"] < lat["dare"] < lat["apus"], lat
+    # Fail-over: Acuerdo's election is far cheaper than Mu's reconnect.
+    assert r["failover"]["acuerdo"] * 2 < r["failover"]["mu"], r["failover"]

@@ -1,0 +1,96 @@
+"""Figure 8 reproduction: broadcast latency vs throughput under load.
+
+One test per panel — (a) 3 nodes / 10 B, (b) 3 nodes / 1000 B,
+(c) 7 nodes / 10 B, (d) 7 nodes / 1000 B — each sweeping the client
+window over powers of two for all seven systems and printing the full
+latency/throughput series plus a knee/floor summary.
+
+Paper shapes these benches verify (§4.1):
+- Acuerdo has the lowest latency of all systems, ~2x under
+  Derecho-leader and >=10x under the TCP systems (log-scale bands);
+- Acuerdo's small-message throughput is ~2x Derecho-leader's (one
+  80-byte-minimum wire write per message instead of two);
+- derecho-all trades latency for bandwidth (worst RDMA latency floor);
+- APUS sits between the RDMA and TCP bands (single pending batch);
+- etcd > zookeeper > libpaxos in latency, all far above RDMA.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import emit, run_once
+from repro.harness import SYSTEMS, render_series, render_table
+from repro.harness.fig8 import Fig8Point, fig8_sweep, floor, knee
+from repro.harness.plot import ascii_plot
+
+#: completions measured per point; enough for stable means, small enough
+#: to keep the full 4-panel grid in minutes of host time.
+MIN_COMPLETIONS = 250
+
+
+def _panel(n: int, size: int) -> dict[str, list[Fig8Point]]:
+    sweeps: dict[str, list[Fig8Point]] = {}
+    for name in SYSTEMS:
+        sweeps[name] = fig8_sweep(name, n, size, min_completions=MIN_COMPLETIONS)
+    return sweeps
+
+
+def _render(panel: str, n: int, size: int,
+            sweeps: dict[str, list[Fig8Point]]) -> str:
+    rows = []
+    for name, pts in sweeps.items():
+        for p in pts:
+            rows.append([name, p.window, round(p.throughput_mb_s, 3),
+                         round(p.mean_latency_us, 1), round(p.p99_latency_us, 1)])
+    table = render_table(
+        f"Figure 8({panel}): {n} nodes, {size}-byte messages",
+        ["system", "window", "tput_MB_s", "mean_lat_us", "p99_lat_us"], rows)
+    summary_rows = []
+    for name, pts in sweeps.items():
+        f, k = floor(pts), knee(pts)
+        summary_rows.append([name, round(f.mean_latency_us, 1),
+                             round(k.throughput_mb_s, 3), k.window])
+    summary = render_table(
+        f"Figure 8({panel}) summary: floor latency and knee throughput",
+        ["system", "floor_lat_us", "knee_tput_MB_s", "knee_window"],
+        sorted(summary_rows, key=lambda r: r[1]))
+    plot = ascii_plot(
+        {name: [(p.throughput_mb_s, p.mean_latency_us) for p in pts]
+         for name, pts in sweeps.items()},
+        log_x=True, log_y=True, x_label="tput MB/s", y_label="lat us",
+        title=f"Figure 8({panel}) as plotted (log-log; ideal = bottom right)")
+    return table + "\n\n" + summary + "\n\n" + plot
+
+
+def _assert_shape(sweeps: dict[str, list[Fig8Point]], n: int, size: int) -> None:
+    """The qualitative claims of §4.1, asserted mechanically."""
+    fl = {name: floor(pts).mean_latency_us for name, pts in sweeps.items()}
+    kn = {name: knee(pts).throughput_mb_s for name, pts in sweeps.items()}
+    # Acuerdo: lowest latency overall.
+    assert fl["acuerdo"] == min(fl.values()), fl
+    # Latency bands: RDMA << TCP (order of magnitude).
+    for rdma in ("acuerdo", "derecho-leader"):
+        for tcp in ("zookeeper", "etcd"):
+            assert fl[tcp] > 8 * fl[rdma], (rdma, tcp, fl)
+    # etcd is the slowest TCP system.
+    assert fl["etcd"] > fl["zookeeper"] > fl["libpaxos"]
+    # Acuerdo throughput beats derecho-leader; ~2x for small messages.
+    assert kn["acuerdo"] > kn["derecho-leader"]
+    if size <= 10:
+        assert kn["acuerdo"] > 1.5 * kn["derecho-leader"], kn
+    # Every RDMA system out-runs every TCP system.
+    assert min(kn["acuerdo"], kn["derecho-leader"]) > \
+        4 * max(kn["zookeeper"], kn["etcd"])
+
+
+@pytest.mark.parametrize("panel,n,size", [
+    ("a", 3, 10),
+    ("b", 3, 1000),
+    ("c", 7, 10),
+    ("d", 7, 1000),
+])
+def test_fig8(benchmark, capsys, panel, n, size):
+    sweeps = run_once(benchmark, _panel, n, size)
+    emit(f"fig8{panel}", _render(panel, n, size, sweeps), capsys)
+    _assert_shape(sweeps, n, size)

@@ -1,0 +1,50 @@
+"""Figure 9 reproduction: YCSB-load ops/sec vs node count.
+
+Method (§4.3): a replicated hash table at every replica; YCSB-load's
+Zipfian(0.99) write stream (create/set/delete) is replicated through the
+broadcast system and acknowledged on commit; gets bypass the broadcast.
+The Acuerdo deployment is compared against ZooKeeper and etcd.
+
+Paper shape: Acuerdo ~10x ZooKeeper and ~50x etcd, at every node count,
+with throughput roughly flat in cluster size (log-scale separation).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import emit, run_once
+from repro.harness.fig9 import FIG9_SYSTEMS, fig9_point
+from repro.harness.render import render_table
+
+SIZES = (3, 5, 7, 9)
+
+
+def _run() -> dict[str, dict[int, float]]:
+    out: dict[str, dict[int, float]] = {}
+    for name in FIG9_SYSTEMS:
+        out[name] = {}
+        for n in SIZES:
+            out[name][n] = fig9_point(name, n, min_completions=400).ops_per_sec
+    return out
+
+
+def test_fig9_ycsb_load(benchmark, capsys):
+    grid = run_once(benchmark, _run)
+    rows = []
+    for n in SIZES:
+        acu, zk, etc = grid["acuerdo"][n], grid["zookeeper"][n], grid["etcd"][n]
+        rows.append([n, round(acu), round(zk), round(etc),
+                     round(acu / zk, 1), round(acu / etc, 1)])
+    emit("fig9", render_table(
+        "Figure 9: YCSB-load throughput (ops/sec) vs node count",
+        ["nodes", "acuerdo", "zookeeper", "etcd", "acu/zk", "acu/etcd"],
+        rows), capsys)
+
+    for n in SIZES:
+        acu, zk, etc = grid["acuerdo"][n], grid["zookeeper"][n], grid["etcd"][n]
+        # Paper: "generally by around 10x for ZooKeeper and 50x for etcd".
+        assert acu > 5 * zk, (n, acu, zk)
+        assert acu > 20 * etc, (n, acu, etc)
+        assert zk > etc, (n, zk, etc)
+        # Log-scale magnitudes: RDMA KV in the 10^5 band, etcd near 10^3-10^4.
+        assert acu > 100_000
+        assert etc < 40_000

@@ -1,0 +1,88 @@
+"""Substrate microbenchmarks (host-side performance of the simulator).
+
+These are conventional pytest-benchmark measurements: they time how fast
+the *simulator itself* executes the hot primitives (one-sided writes,
+ring sends, SST pushes, engine event dispatch).  They exist to keep the
+reproduction usable — the Fig. 8/9 drivers execute millions of these
+operations, so a regression here multiplies into minutes of bench time.
+"""
+
+from __future__ import annotations
+
+from repro.core import AcuerdoCluster
+from repro.rdma import RdmaFabric, RingBuffer, SharedStateTable
+from repro.sim import Engine, ms, us
+
+
+def test_engine_event_dispatch(benchmark):
+    def run():
+        e = Engine(seed=1)
+        for i in range(10_000):
+            e.schedule(i, int)
+        e.run()
+        return e.now
+
+    assert benchmark(run) == 9_999
+
+
+def test_qp_write_throughput(benchmark):
+    def run():
+        e = Engine(seed=1)
+        fab = RdmaFabric(e, [0, 1])
+        reg = fab.register(1, "r", 1 << 20, on_write=lambda k, v, s: None)
+        rkey = reg.grant()
+        for i in range(5_000):
+            fab.write(0, 1, reg, rkey, i, None, 10, signaled=(i % 512 == 511))
+            if i % 1024 == 1023:
+                e.run(until=e.now + us(400))
+        e.run()
+        return reg.writes_received
+
+    assert benchmark(run) == 5_000
+
+
+def test_ring_broadcast_throughput(benchmark):
+    def run():
+        e = Engine(seed=1)
+        fab = RdmaFabric(e, [0, 1, 2])
+        ring = RingBuffer(fab, 0, [0, 1, 2], capacity=8192)
+        for i in range(4_000):
+            ring.try_send(i, 10)
+            if i % 1024 == 1023:
+                e.run(until=e.now + ms(1))
+        e.run()
+        return ring.receiver(1).delivered_msgs + ring.receiver(1).backlog
+
+    assert benchmark(run) == 4_000
+
+
+def test_sst_push_throughput(benchmark):
+    def run():
+        e = Engine(seed=1)
+        fab = RdmaFabric(e, list(range(5)))
+        sst = SharedStateTable(fab, "b", list(range(5)), initial=0)
+        for i in range(2_000):
+            sst.set_and_push(0, i)
+            if i % 512 == 511:
+                e.run(until=e.now + ms(1))
+        e.run()
+        return sst.read(4, 0)
+
+    assert benchmark(run) == 1_999
+
+
+def test_acuerdo_end_to_end_sim_rate(benchmark):
+    """Messages committed per host-second across a full 3-node cluster —
+    the figure that bounds every Fig. 8 sweep."""
+    def run():
+        e = Engine(seed=1)
+        c = AcuerdoCluster(e, 3, record_deliveries=False)
+        c.preseed_leader(0)
+        c.start()
+        done = []
+        for i in range(1_000):
+            c.submit(("b", i), 10, lambda h: done.append(1))
+        e.run(until=ms(20))
+        return len(done)
+
+    assert benchmark(run) == 1_000

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Where do Acuerdo's ~10 microseconds go?
+
+Instruments a 3-node cluster and prints the per-stage latency anatomy
+of a committed message: client hop, ring broadcast, follower
+acceptance, quorum, commit, acknowledgment — the measured counterpart
+of the §3.2 walkthrough (Fig. 3).
+
+Run:  python examples/latency_anatomy.py
+"""
+
+from repro.core import AcuerdoCluster
+from repro.harness.breakdown import LatencyAnatomy
+from repro.sim import Engine, ms, us
+
+
+def main() -> None:
+    engine = Engine(seed=11)
+    cluster = AcuerdoCluster(engine, n=3)
+    cluster.preseed_leader(0)
+    cluster.start()
+    anatomy = LatencyAnatomy(cluster)
+
+    def fire(i: int = 0) -> None:
+        if i < 200:
+            anatomy.probe(i, {"op": "put", "seq": i}, size=10)
+            engine.schedule(us(5), fire, i + 1)
+
+    fire()
+    engine.run(until=ms(5))
+
+    print(anatomy.render())
+    print(
+        "\nReading the anatomy against §3.2:\n"
+        "  broadcast     — header stamped, one coupled RDMA write posted\n"
+        "  first_accept  — the write landed and a follower's poll found it\n"
+        "  quorum_accept — the second follower (quorum for n=3) accepted\n"
+        "  committed     — the overwritten Accept-SST row reached the\n"
+        "                  leader and the quorum test passed (Fig. 6)\n"
+        "  acked         — commit callback after the handler's CPU work\n"
+        "The client transport hops (~1.1 us each way) sit on top of the\n"
+        "committed figure in the Fig. 8 client-observed numbers."
+    )
+
+
+if __name__ == "__main__":
+    main()

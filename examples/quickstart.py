@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Quickstart: a 3-node Acuerdo instance broadcasting client messages.
+
+Builds the cluster over the simulated RDMA fabric, broadcasts a stream
+of payloads, and shows the atomic-broadcast guarantees holding: every
+replica delivers the same messages in the same order, with commit
+latencies in the microsecond band the paper reports.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import AcuerdoCluster
+from repro.sim import Engine, ms, us
+
+
+def main() -> None:
+    engine = Engine(seed=2024)
+    cluster = AcuerdoCluster(engine, n=3)
+    cluster.start()
+
+    # Cold start: the replicas elect a leader before serving (§3.3).
+    engine.run(until=ms(1))
+    roles = {i: r.value for i, r in cluster.roles().items()}
+    print(f"leader elected: node {cluster.leader_id()}; roles: {roles}")
+
+    # Broadcast 100 payloads, measuring commit latency at the leader.
+    latencies = []
+
+    def feed(i: int = 0) -> None:
+        if i >= 100:
+            return
+        t0 = engine.now
+        cluster.submit({"op": "put", "seq": i}, size_bytes=10,
+                       on_commit=lambda hdr, t0=t0: latencies.append(engine.now - t0))
+        engine.schedule(us(3), feed, i + 1)
+
+    feed()
+    engine.run(until=ms(3))
+
+    print(f"\ncommitted {len(latencies)}/100 messages")
+    print(f"mean commit latency: {sum(latencies) / len(latencies) / 1000:.1f} us "
+          f"(paper: ~10 us for small groups and messages)")
+
+    # Atomic broadcast guarantees (§2.2), checked across all replicas.
+    cluster.deliveries.check_total_order()
+    cluster.deliveries.check_no_duplication(key=lambda p: p["seq"])
+    for node_id in cluster.node_ids:
+        seq = cluster.deliveries.sequences[node_id]
+        assert [p["seq"] for p in seq] == list(range(100))
+    print("total order / no duplication / integrity: OK on all replicas")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+"""Reproduction of "Acuerdo: Fast Atomic Broadcast over RDMA" (ICPP '22).
+
+Top-level convenience surface; see the subpackages for the full API:
+
+- :mod:`repro.sim` — deterministic discrete-event kernel;
+- :mod:`repro.rdma` — the simulated RDMA substrate;
+- :mod:`repro.net` — the kernel-TCP substrate;
+- :mod:`repro.core` — the Acuerdo protocol (the paper's contribution);
+- :mod:`repro.protocols` — the six baseline systems of §4;
+- :mod:`repro.apps` — state-machine replication and the §4.3 hash table;
+- :mod:`repro.workloads` — Fig. 8 / Table 1 / Fig. 9 load generators;
+- :mod:`repro.harness` — experiment drivers and rendering.
+"""
+
+from repro.core import AcuerdoCluster, AcuerdoConfig
+from repro.sim import Engine, ms, sec, us
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AcuerdoCluster",
+    "AcuerdoConfig",
+    "Engine",
+    "us",
+    "ms",
+    "sec",
+    "__version__",
+]

@@ -1,0 +1,165 @@
+"""Command-line interface: run any experiment without touching pytest.
+
+Usage::
+
+    python -m repro shootout [--nodes 3] [--size 10] [--window 4]
+    python -m repro fig8 --panel a [--systems acuerdo derecho-leader]
+    python -m repro table1 [--sizes 3 5 7 9]
+    python -m repro fig9 [--sizes 3 5 7 9]
+    python -m repro elections --nodes 5 [--kills 4]
+
+Every subcommand prints the same text tables the benchmarks archive
+under ``results/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_shootout(args: argparse.Namespace) -> int:
+    from repro.harness import SYSTEMS, build_system, render_table, settle
+    from repro.harness.factory import EXTENSION_SYSTEMS
+    from repro.sim import Engine, ms
+    from repro.workloads.closedloop import ClosedLoopClient
+
+    names = args.systems or (SYSTEMS + (EXTENSION_SYSTEMS if args.extensions else []))
+    rows = []
+    for name in names:
+        engine = Engine(seed=args.seed)
+        system = build_system(name, engine, args.nodes)
+        settle(system)
+        client = ClosedLoopClient(system, window=args.window,
+                                  message_size=args.size, warmup=30)
+        client.start()
+        deadline = engine.now + ms(500)
+        while len(client.latencies) < args.messages and engine.now < deadline:
+            engine.run(until=engine.now + ms(4))
+        client.stop()
+        res = client.result()
+        rows.append([name, round(res.mean_latency_us, 1),
+                     round(res.percentile_latency_us(99), 1),
+                     round(res.throughput_mb_per_sec, 3), res.completed])
+    rows.sort(key=lambda r: r[1])
+    print(render_table(
+        f"Shootout: {args.nodes} nodes, {args.size}-byte messages, "
+        f"window {args.window}",
+        ["system", "mean_lat_us", "p99_lat_us", "tput_MB_s", "msgs"], rows))
+    return 0
+
+
+def _cmd_fig8(args: argparse.Namespace) -> int:
+    from repro.harness import SYSTEMS, render_table
+    from repro.harness.fig8 import fig8_sweep, floor, knee
+
+    panels = {"a": (3, 10), "b": (3, 1000), "c": (7, 10), "d": (7, 1000)}
+    n, size = panels[args.panel]
+    names = args.systems or SYSTEMS
+    rows, summary = [], []
+    for name in names:
+        pts = fig8_sweep(name, n, size, seed=args.seed,
+                         min_completions=args.messages)
+        for p in pts:
+            rows.append([name, p.window, round(p.throughput_mb_s, 3),
+                         round(p.mean_latency_us, 1)])
+        f, k = floor(pts), knee(pts)
+        summary.append([name, round(f.mean_latency_us, 1),
+                        round(k.throughput_mb_s, 3)])
+    print(render_table(f"Figure 8({args.panel}): {n} nodes, {size} B",
+                       ["system", "window", "tput_MB_s", "mean_lat_us"], rows))
+    print()
+    print(render_table("Summary", ["system", "floor_lat_us", "knee_tput_MB_s"],
+                       sorted(summary, key=lambda r: r[1])))
+    return 0
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    from repro.harness.render import render_table
+    from repro.harness.table1 import table1_elections
+
+    rows = []
+    for n in args.sizes:
+        durations = table1_elections(n, seed=args.seed, kills=args.kills)
+        mean = sum(durations) / len(durations) if durations else float("nan")
+        rows.append([n, len(durations), round(mean, 3)])
+    print(render_table("Table 1: election duration vs replica count",
+                       ["replicas", "elections", "mean_ms"], rows))
+    return 0
+
+
+def _cmd_fig9(args: argparse.Namespace) -> int:
+    from repro.harness.fig9 import FIG9_SYSTEMS, fig9_point
+    from repro.harness.render import render_table
+
+    rows = []
+    for n in args.sizes:
+        row = [n]
+        for name in FIG9_SYSTEMS:
+            row.append(round(fig9_point(name, n, seed=args.seed,
+                                        min_completions=args.messages).ops_per_sec))
+        rows.append(row)
+    print(render_table("Figure 9: YCSB-load ops/sec vs node count",
+                       ["nodes"] + FIG9_SYSTEMS, rows))
+    return 0
+
+
+def _cmd_elections(args: argparse.Namespace) -> int:
+    from repro.harness.render import render_table
+    from repro.harness.table1 import table1_elections
+
+    durations = table1_elections(args.nodes, seed=args.seed, kills=args.kills)
+    rows = [[i, round(d, 3)] for i, d in enumerate(durations)]
+    print(render_table(f"Election durations, {args.nodes} replicas (ms)",
+                       ["election", "duration_ms"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The ``python -m repro`` argument parser (one subcommand per experiment)."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Acuerdo (ICPP'22) reproduction experiments")
+    parser.add_argument("--seed", type=int, default=1)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("shootout", help="all systems at one load point")
+    p.add_argument("--nodes", type=int, default=3)
+    p.add_argument("--size", type=int, default=10)
+    p.add_argument("--window", type=int, default=4)
+    p.add_argument("--messages", type=int, default=300)
+    p.add_argument("--systems", nargs="*", default=None)
+    p.add_argument("--extensions", action="store_true",
+                   help="include DARE and Mu")
+    p.set_defaults(fn=_cmd_shootout)
+
+    p = sub.add_parser("fig8", help="one Figure 8 panel")
+    p.add_argument("--panel", choices="abcd", default="a")
+    p.add_argument("--messages", type=int, default=250)
+    p.add_argument("--systems", nargs="*", default=None)
+    p.set_defaults(fn=_cmd_fig8)
+
+    p = sub.add_parser("table1", help="Table 1 election durations")
+    p.add_argument("--sizes", type=int, nargs="*", default=[3, 5, 7, 9])
+    p.add_argument("--kills", type=int, default=4)
+    p.set_defaults(fn=_cmd_table1)
+
+    p = sub.add_parser("fig9", help="Figure 9 YCSB-load throughput")
+    p.add_argument("--sizes", type=int, nargs="*", default=[3, 5, 7, 9])
+    p.add_argument("--messages", type=int, default=400)
+    p.set_defaults(fn=_cmd_fig9)
+
+    p = sub.add_parser("elections", help="raw election durations for one size")
+    p.add_argument("--nodes", type=int, default=5)
+    p.add_argument("--kills", type=int, default=4)
+    p.set_defaults(fn=_cmd_elections)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""Applications built on atomic broadcast.
+
+- :mod:`repro.apps.smr` — generic state-machine replication: apply every
+  delivered operation to a deterministic state machine at each replica
+  (§2.2's motivation for atomic broadcast);
+- :mod:`repro.apps.hashtable` — the §4.3 use case: a replicated
+  in-memory hash table where updates (create/set/delete) are replicated
+  through the broadcast and gets are served locally at any replica.
+"""
+
+from repro.apps.smr import StateMachine, ReplicatedStateMachine
+from repro.apps.hashtable import HashTableStateMachine, ReplicatedHashTable, KvOp
+
+__all__ = [
+    "StateMachine",
+    "ReplicatedStateMachine",
+    "HashTableStateMachine",
+    "ReplicatedHashTable",
+    "KvOp",
+]

@@ -1,0 +1,44 @@
+"""Tunable parameters of an Acuerdo deployment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.engine import ms, us
+from repro.sim.process import ProcessConfig
+
+
+@dataclass
+class AcuerdoConfig:
+    """Protocol and cost knobs for one Acuerdo cluster.
+
+    CPU costs are per-message charges on the node's serial CPU; they are
+    deliberately small because Acuerdo's handlers are a few dozen
+    instructions plus a doorbell (§3.2).  Timeouts are simulation-scale:
+    the heartbeat period and leader timeout are far below the paper's
+    (seconds-scale) values so that fail-over experiments run quickly,
+    but their *ratios* match (timeout = several heartbeat periods).
+    """
+
+    ring_capacity: int = 8192
+    signal_interval: int = 1000          # selective signaling (§2.1)
+    accept_cpu_ns: int = 300             # log insert + SST row update
+    commit_cpu_ns: int = 250             # quorum check + deliver
+    broadcast_cpu_ns: int = 600          # header compute + ring write setup
+    election_cpu_ns: int = 250           # one election step
+    commit_push_period_ns: int = us(2)   # Commit_SST push / heartbeat period
+    # Timeouts leave headroom over a fully loaded poll turn (~100 us of
+    # charged work), or load would masquerade as leader failure.  They
+    # are still ~1000x below the paper's (seconds-scale) production
+    # values so fail-over experiments run quickly.
+    leader_timeout_ns: int = us(400)     # heartbeat silence before election
+    candidate_timeout_ns: int = us(120)  # stalled-candidate timeout (Fig. 7)
+    max_commits_per_poll: int = 256      # batch drain bound per event-loop turn
+    gc_period_ns: int = ms(1)            # log garbage-collection cadence
+    max_broadcasts_per_poll: int = 64    # client intake per event-loop turn,
+                                         # so heartbeats interleave with bursts
+    process: ProcessConfig = field(default_factory=ProcessConfig)
+
+    def quorum(self, n: int) -> int:
+        """Majority size for an ``n = 2f + 1`` cluster."""
+        return n // 2 + 1

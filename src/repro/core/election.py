@@ -1,0 +1,101 @@
+"""Pure election rules from Fig. 7, lines 96-111.
+
+The election is a fixed-point computation over the Vote SST: every step
+a node either raises its own candidacy or joins the largest vote it can
+see, and votes only ever increase.  Separating the *decision* (pure
+functions here) from the *actuation* (pushing SST rows, in
+:mod:`repro.core.node`) lets the property tests drive thousands of
+randomized vote tables through the rules and check:
+
+- monotonicity: a node's vote never decreases;
+- the up-to-date property: a winner's last-accepted header dominates
+  every voter in its quorum;
+- convergence: repeated application reaches a quorum agreeing on one
+  candidate, provided non-failed nodes keep responding (no livelock, in
+  contrast to Raft/DARE split votes — §3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.core.types import Epoch, MsgHdr, Vote
+
+
+def max_vote(votes: Mapping[int, Vote]) -> Vote:
+    """Largest vote visible in a Vote-SST snapshot (``max_vote`` of
+    Fig. 7).  Empty tables return the zero vote."""
+    best: Optional[Vote] = None
+    for v in votes.values():
+        if v is not None and (best is None or v > best):
+            best = v
+    from repro.core.types import VOTE_ZERO
+
+    return best if best is not None else VOTE_ZERO
+
+
+def new_bigger_epoch(e_new: Epoch, seen: Epoch, self_id: int) -> Epoch:
+    """A fresh epoch with ``self_id`` as leader that is strictly larger
+    than both the node's current proposal and the largest epoch it has
+    seen (Fig. 7 line 102 — this is what keeps self-votes increasing)."""
+    base = max(e_new.round, seen.round)
+    candidate = Epoch(base, self_id)
+    if candidate <= e_new or candidate <= seen:
+        candidate = Epoch(base + 1, self_id)
+    return candidate
+
+
+class VoteDecision(enum.Enum):
+    """Outcome of one election step for a node."""
+
+    VOTE_SELF = "self"
+    JOIN_MAX = "join"
+    HOLD = "hold"
+
+
+@dataclass(frozen=True)
+class VoteAction:
+    """What the node should write to its Vote-SST row (if anything)."""
+
+    decision: VoteDecision
+    new_vote: Optional[Vote] = None
+    new_e_new: Optional[Epoch] = None
+
+
+def decide_vote(self_id: int, own_vote: Vote, e_new: Epoch, accepted: MsgHdr,
+                votes: Mapping[int, Vote], timed_out: bool) -> VoteAction:
+    """One application of the two vote rules (Fig. 7 lines 100-111).
+
+    Parameters mirror the node state: ``own_vote`` is Vote_SST[Self],
+    ``e_new`` the epoch the node currently intends to join, ``accepted``
+    its last accepted header, ``votes`` its local Vote-SST snapshot, and
+    ``timed_out`` whether the current best candidate has stalled.
+    """
+    mx = max_vote(votes)
+    if timed_out or accepted > mx.acpt:
+        # Rule 1 — vote for self: no visible candidate is at least as
+        # up to date as we are (or the best one stopped responding).
+        e = new_bigger_epoch(e_new, mx.e_new, self_id)
+        return VoteAction(VoteDecision.VOTE_SELF, Vote(e, accepted), e)
+    if mx > own_vote and accepted <= mx.acpt:
+        # Rule 2 — join the largest vote; its candidate subsumes us.
+        return VoteAction(VoteDecision.JOIN_MAX, Vote(mx.e_new, mx.acpt), mx.e_new)
+    return VoteAction(VoteDecision.HOLD)
+
+
+def won_election(self_id: int, votes: Mapping[int, Vote], own_vote: Vote,
+                 quorum: int) -> bool:
+    """Fig. 7 lines 114-115: a quorum of rows equals our vote and the
+    vote names us leader.
+
+    The zero vote can never win: ``Epoch(0, 0)`` syntactically names
+    node 0 as leader, so without this guard a table of never-voted rows
+    would "elect" node 0 (caught by the election model checker)."""
+    from repro.core.types import VOTE_ZERO
+
+    if own_vote == VOTE_ZERO or own_vote.e_new.leader != self_id:
+        return False
+    agreeing = sum(1 for v in votes.values() if v == own_vote)
+    return agreeing >= quorum

@@ -1,0 +1,549 @@
+"""The Acuerdo node state machine.
+
+One :class:`AcuerdoNode` implements all three modes of §3:
+
+- **broadcast** (Fig. 4): the leader stamps client payloads with
+  ``(E_new, ++Count)`` headers and pipelines them through its RDMA ring
+  buffer to every node (including itself) without waiting for any
+  acknowledgment;
+- **accept / commit** (Figs. 5, 6): every node drains its incoming ring
+  mirrors in receiver-side batches, logs messages, acknowledges only the
+  *newest* accepted header through the Accept SST (FIFO delivery makes
+  that acknowledgment cumulative), and commits in log order once a
+  quorum has accepted (leader) or the leader's Commit-SST row says so
+  (follower);
+- **election / transition** (Fig. 7, §3.4): the fixed-point vote rules
+  from :mod:`repro.core.election`, followed by per-node diff messages
+  that carry exactly what each follower is missing.
+
+Deviations from the paper's pseudocode, all noted inline and in
+DESIGN.md:
+
+1. the Commit-SST row carries a heartbeat counter next to the committed
+   header, because with pure overwrite semantics an idle leader is
+   indistinguishable from a dead one;
+2. a freshly elected leader broadcasts one no-op message right after its
+   diffs.  Fig. 6's follower commit rule only fires once the leader's
+   Commit-SST row carries the *new* epoch, which first happens when
+   message ``(E, 1)`` commits — without traffic, followers would never
+   deliver the diff contents.  The no-op provides that first message
+   (the same trick Raft uses at term start); it is never delivered to
+   the application;
+3. a leader evicts a receiver from its ring-slot accounting after a long
+   heartbeat silence so a crashed follower cannot wedge the ring once it
+   wraps; the evicted node rejoins through the next election's diff.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any, Callable, Optional, TYPE_CHECKING
+
+from repro.core.config import AcuerdoConfig
+from repro.core.election import decide_vote, max_vote, won_election, VoteDecision
+from repro.core.log import MessageLog
+from repro.core.types import (
+    CommitRow,
+    Epoch,
+    HDR_ZERO,
+    Message,
+    MsgHdr,
+    VOTE_ZERO,
+    Vote,
+    diff_payload_size,
+)
+from repro.sim.process import Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.cluster import AcuerdoCluster
+
+
+class Role(enum.Enum):
+    """A node's role within its current epoch (Fig. 1 line 17)."""
+
+    ELECTING = "electing"
+    LEADER = "leader"
+    FOLLOWER = "follower"
+
+
+class _Noop:
+    """Sentinel payload for the epoch-opening no-op (never app-delivered)."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return "<noop>"
+
+
+NOOP = _Noop()
+
+
+class AcuerdoNode(Process):
+    """One replica of an Acuerdo instance."""
+
+    def __init__(self, cluster: "AcuerdoCluster", node_id: int, config: AcuerdoConfig):
+        # Every node gets a private ProcessConfig copy so slow-node
+        # injection on one replica does not leak to the others.
+        super().__init__(cluster.engine, node_id,
+                         dataclasses.replace(config.process), name=f"acuerdo{node_id}")
+        self.cluster = cluster
+        self.cfg = config
+        self.peers = list(cluster.node_ids)
+        self.quorum = config.quorum(len(self.peers))
+
+        # --- Fig. 1 state ---
+        self.E_cur: Epoch = Epoch(0, 0)
+        self.E_new: Epoch = Epoch(0, 0)
+        self.Accepted: MsgHdr = HDR_ZERO
+        self.Committed: MsgHdr = HDR_ZERO
+        self.Next: MsgHdr = HDR_ZERO
+        self.Count: int = 0
+        self.role: Role = Role.ELECTING
+        self.log = MessageLog()
+
+        # --- broadcast plumbing ---
+        self.pending_client: list[tuple[Any, int, Optional[Callable[[MsgHdr], None]]]] = []
+        self._epoch_msg_seq: dict[int, int] = {}   # cnt -> own-ring seq (current epoch)
+        self._diff_seq: dict[int, int] = {}        # follower -> seq of its diff
+        self._pending_diffs: list[tuple[int, Message]] = []
+        self._on_commit_cb: dict[MsgHdr, Callable[[MsgHdr], None]] = {}
+
+        # --- failure detection / election bookkeeping ---
+        self._hb_seq = 0
+        self._last_commit_push = 0
+        self._peer_hb: dict[int, tuple[int, int]] = {p: (-1, 0) for p in self.peers}
+        self._last_mx: Vote = VOTE_ZERO
+        self._mx_changed_at = 0
+        self._election_started_at: Optional[int] = None
+        self._evicted: set[int] = set()
+        self.deposed_epochs = 0
+        self._last_gc = 0
+        self._last_stranded_react = 0
+
+    # ------------------------------------------------------------- shorthand
+
+    @property
+    def _accept_sst(self):
+        return self.cluster.accept_sst
+
+    @property
+    def _vote_sst(self):
+        return self.cluster.vote_sst
+
+    @property
+    def _commit_sst(self):
+        return self.cluster.commit_sst
+
+    @property
+    def _ring(self):
+        return self.cluster.rings[self.node_id]
+
+    def _charge(self, cost_ns: int) -> None:
+        """Charge protocol CPU work for this poll iteration."""
+        cpu = self.cpu
+        cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(
+            cost_ns * cpu.speed_factor)
+
+    # ------------------------------------------------------------ event loop
+
+    def on_poll(self) -> None:
+        self._drain_rings()
+        if self.role is Role.ELECTING:
+            self._election_step(timeout_fired=False)
+        else:
+            self._serve_client_ports()
+            self._commit_loop()
+            if self.role is Role.LEADER:
+                self._pump_client_queue()
+                self._release_slots()
+                self._evict_dead_receivers()
+                self._check_stranded_voters()
+            else:
+                self._check_leader_alive()
+        self._maybe_push_commit_row()
+        self._maybe_gc()
+
+    # ------------------------------------------------------ Fig. 4: broadcast
+
+    def client_broadcast(self, payload: Any, size: int,
+                         on_commit: Optional[Callable[[MsgHdr], None]] = None) -> None:
+        """Enqueue a client payload for broadcast.
+
+        Callable from any context; the message leaves at the leader's
+        next poll (Fig. 4's precondition ``Role == LEADER`` is enforced
+        there — a deposed leader's queue is re-routed by the cluster).
+        """
+        self.pending_client.append((payload, size, on_commit))
+
+    def _pump_client_queue(self) -> None:
+        while self._pending_diffs:
+            j, msg = self._pending_diffs[0]
+            seq = self._ring.try_send(msg, msg.size, targets=[j])
+            if seq is None:
+                return
+            self._diff_seq[j] = seq
+            self._pending_diffs.pop(0)
+        budget = self.cfg.max_broadcasts_per_poll
+        while self.pending_client and budget > 0:
+            budget -= 1
+            payload, size, on_commit = self.pending_client[0]
+            hdr = MsgHdr(self.E_new, self.Count + 1)
+            msg = Message(hdr, payload, size)
+            if self._ring.free_slots() <= 0:
+                # Ring full under the release policy: retry next poll.
+                self._ring.stalls += 1
+                self.engine.trace.count("acuerdo.ring_full")
+                return
+            self._charge(self.cfg.broadcast_cpu_ns)
+            seq = self._ring.try_send(msg, size, earliest_ns=self.cpu.busy_until)
+            self.pending_client.pop(0)
+            self.Count += 1
+            self._epoch_msg_seq[hdr.cnt] = seq
+            if on_commit is not None:
+                self._on_commit_cb[hdr] = on_commit
+            self.engine.trace.count("acuerdo.broadcast")
+
+    def _serve_client_ports(self) -> None:
+        """Drain external clients' request mailboxes (§4.3 client path).
+
+        Only the leader turns requests into broadcasts; other replicas
+        drop what lands in their mailboxes (clients re-send after a
+        timeout, as with any leader-based service)."""
+        for port in self.cluster.client_ports:
+            reqs = port.drain_requests_at(self.node_id)
+            if self.role is not Role.LEADER:
+                if reqs:
+                    self.engine.trace.count("acuerdo.client_req_dropped", len(reqs))
+                continue
+            for req_id, payload, size in reqs:
+                self.client_broadcast(
+                    payload, size,
+                    on_commit=lambda hdr, p=port, r=req_id:
+                        p.post_reply(self.node_id, r))
+                self._charge(self.cfg.broadcast_cpu_ns // 2)
+
+    # ------------------------------------------------------- Fig. 5: accept
+
+    def _drain_rings(self) -> None:
+        accepted_any = False
+        for sender, ring in self.cluster.rings.items():
+            rr = ring.receiver(self.node_id) if self.node_id in ring._receivers else None
+            if rr is None:
+                continue
+            for _seq, msg in rr.poll():
+                accepted_any |= self._accept(msg)
+        if accepted_any:
+            # One acknowledgment per drained batch: the Accept-SST row is
+            # overwriting, so pushing only the *newest* accepted header
+            # implicitly acknowledges the whole batch (§3.2 — "accept the
+            # later message, implicitly acknowledging the earlier one").
+            ldr = self.E_cur.leader
+            if ldr != self.node_id:
+                self._accept_sst.push(self.node_id, targets=[ldr],
+                                      earliest_ns=self.cpu.busy_until)
+
+    def _accept(self, msg: Message) -> bool:
+        """Handle one incoming message; returns True when a normal accept
+        updated the Accept-SST row (push is batched by the caller)."""
+        e = msg.hdr.e
+        if e == self.E_new and e == self.E_cur:
+            # Normal acceptance (Fig. 5 lines 47-53).  Thanks to FIFO
+            # delivery, storing only the newest header in the Accept SST
+            # implicitly acknowledges everything before it.
+            self._charge(self.cfg.accept_cpu_ns)
+            self.log.insert(msg)
+            self.Accepted = msg.hdr
+            self._accept_sst.write_local(self.node_id, msg.hdr)
+            self.engine.trace.count("acuerdo.accept")
+            return e.leader != self.node_id
+        elif self.E_new <= e:
+            self._accept_diff(msg)
+        else:
+            # Stale epoch: a deposed leader's leftovers; drop silently.
+            self.engine.trace.count("acuerdo.stale_drop")
+        return False
+
+    def _accept_diff(self, msg: Message) -> None:
+        """Diff acceptance and transition into broadcast (Fig. 5, 54-66)."""
+        assert msg.hdr.cnt == 0, "epoch-opening message must have count 0"
+        e = msg.hdr.e
+        if self.E_cur != e and self.role is Role.LEADER:
+            self.deposed_epochs += 1
+        self.E_new = e
+        self.E_cur = e
+        if e.leader != self.node_id:
+            self.role = Role.FOLLOWER
+        entries: list[Message] = list(msg.payload)
+        if entries:
+            # Replace the uncommitted tail with the leader's view.
+            self.log.truncate_from(entries[0].hdr)
+            for m in entries:
+                self.log.insert(m)
+        else:
+            # Leader knows of nothing we are missing: drop any
+            # uncommitted leftovers from deposed epochs.
+            self.log.truncate_from(self.Committed.next())
+        self._charge(self.cfg.accept_cpu_ns * (1 + len(entries)))
+        self.Accepted = msg.hdr
+        self._accept_sst.write_local(self.node_id, msg.hdr)
+        if e.leader != self.node_id:
+            self._accept_sst.push(self.node_id, targets=[e.leader],
+                                  earliest_ns=self.cpu.busy_until)
+        self.Next = MsgHdr(e, 0)
+        # Joining an epoch resets failure-detection state.
+        self._peer_hb[e.leader] = (self._peer_hb.get(e.leader, (-1, 0))[0], self.engine.now)
+        self._election_started_at = None
+        self.engine.trace.count("acuerdo.diff_accept")
+
+    # -------------------------------------------------------- Fig. 6: commit
+
+    def _commit_ready(self) -> bool:
+        if self.role is Role.LEADER:
+            n_ok = 0
+            for k in self.peers:
+                h = self._accept_sst.read(self.node_id, k)
+                if h is not None and h >= self.Next and h.e == self.E_cur:
+                    n_ok += 1
+            return n_ok >= self.quorum
+        row: CommitRow = self._commit_sst.read(self.node_id, self.E_cur.leader)
+        return (row is not None and row.committed >= self.Next
+                and row.committed.e == self.E_cur)
+
+    def _commit_loop(self) -> None:
+        # Drain as many commits as are ready this turn (receiver-side
+        # batching: the batch size is whatever accumulated since the
+        # last poll), bounded to keep single poll turns finite.
+        for _ in range(self.cfg.max_commits_per_poll):
+            if not self._commit_ready():
+                return
+            self._charge(self.cfg.commit_cpu_ns)
+            if self.Next.cnt != 0:
+                m = self.log.get(self.Next)
+                if m is None:
+                    # Cannot happen on a single FIFO channel per pair
+                    # (the commit row was written after the message);
+                    # trace defensively rather than skipping a message.
+                    self.engine.trace.count("acuerdo.commit_gap_anomaly")
+                    return
+                self._deliver(m)
+                self.Committed = self.Next
+            else:
+                # Diff commit (Fig. 6 lines 83-89): deliver everything in
+                # the diff that we have not delivered before.
+                for m in list(self.log.range(self.Committed, self.Next,
+                                             inclusive_hi=False)):
+                    self._deliver(m)
+                    self.Committed = m.hdr
+            self.Next = self.Next.next()
+
+    def _deliver(self, m: Message) -> None:
+        self.engine.trace.count("acuerdo.commit")
+        cb = self._on_commit_cb.pop(m.hdr, None)
+        if cb is not None:
+            # The client-visible acknowledgment leaves once the commit
+            # handler's CPU work is done.
+            self.engine.schedule_at(max(self.engine.now, self.cpu.busy_until),
+                                    cb, m.hdr)
+        if m.payload is NOOP:
+            return
+        self.cluster.record_delivery(self.node_id, m)
+
+    def _maybe_push_commit_row(self) -> None:
+        now = self.engine.now
+        if now - self._last_commit_push < self.cfg.commit_push_period_ns:
+            return
+        self._last_commit_push = now
+        self._hb_seq += 1
+        self._commit_sst.set_and_push(self.node_id, CommitRow(self.Committed, self._hb_seq))
+
+    def _maybe_gc(self) -> None:
+        """Garbage-collect the log below the cluster-wide commit frontier.
+
+        Entries are only needed for (a) local delivery — covered once
+        committed here — and (b) diff construction if we win an election,
+        which reaches back to the *receiver's* committed header (Fig. 7
+        line 124).  Trimming below the minimum committed header across
+        *all* peers' Commit-SST rows is therefore safe: no future diff
+        can need a trimmed entry.  The cost of that safety is that a
+        crashed peer's frozen row pins the log from its crash point on —
+        a production deployment would add snapshot transfer (as
+        ZooKeeper does) to reclaim it; see DESIGN.md."""
+        now = self.engine.now
+        if now - self._last_gc < self.cfg.gc_period_ns:
+            return
+        self._last_gc = now
+        frontier = self.Committed
+        for p in self.peers:
+            if p == self.node_id:
+                continue
+            row: CommitRow = self._commit_sst.read(self.node_id, p)
+            if row is None:
+                return
+            if row.committed < frontier:
+                frontier = row.committed
+        trimmed = self.log.trim_below(frontier)
+        if trimmed:
+            self.engine.trace.count("acuerdo.gc_trimmed", trimmed)
+
+    # --------------------------------------------- slot release & liveness
+
+    def _release_slots(self) -> None:
+        """Accept-based slot reuse (§4.1): a slot is free once the
+        receiver has accepted the message, long before commit."""
+        ring = self._ring
+        for k in self.peers:
+            if k in self._evicted:
+                continue
+            h = self._accept_sst.read(self.node_id, k)
+            if h is None or h.e != self.E_cur:
+                continue
+            seq = self._diff_seq.get(k) if h.cnt == 0 else self._epoch_msg_seq.get(h.cnt)
+            if seq is not None:
+                ring.mark_released(k, seq + 1)
+
+    def _observe_peer_heartbeats(self) -> None:
+        now = self.engine.now
+        for p in self.peers:
+            if p == self.node_id:
+                continue
+            row: CommitRow = self._commit_sst.read(self.node_id, p)
+            hb = row.heartbeat if row is not None else 0
+            last_hb, _ = self._peer_hb.get(p, (-1, 0))
+            if hb != last_hb:
+                self._peer_hb[p] = (hb, now)
+
+    def _check_leader_alive(self) -> None:
+        self._observe_peer_heartbeats()
+        ldr = self.E_cur.leader
+        if ldr == self.node_id:
+            return
+        _, seen_at = self._peer_hb.get(ldr, (-1, 0))
+        if self.engine.now - seen_at > self.cfg.leader_timeout_ns:
+            self._start_election()
+
+    def _evict_dead_receivers(self) -> None:
+        self._observe_peer_heartbeats()
+        now = self.engine.now
+        for p in self.peers:
+            if p == self.node_id:
+                continue
+            _, seen_at = self._peer_hb.get(p, (-1, 0))
+            if now - seen_at > 3 * self.cfg.leader_timeout_ns:
+                if p not in self._evicted:
+                    # Keep mirroring (the node may be alive-but-slow and
+                    # will catch up) but stop letting it wedge slot reuse.
+                    self._evicted.add(p)
+                    self._ring.exclude_from_accounting(p)
+                    self.engine.trace.count("acuerdo.receiver_evicted")
+            elif p in self._evicted:
+                # Fresh heartbeat from an evicted peer: re-admit it; the
+                # release state resumes from its next acceptance.
+                self._evicted.discard(p)
+                self._ring.include_in_accounting(p, self._ring.next_seq)
+
+    def _check_stranded_voters(self) -> None:
+        """Recover peers stranded mid-election (partition healed, vote
+        lost).  A node that raised ``E_new`` by voting can no longer
+        accept messages of the current epoch, and its candidacy can
+        never win against a healthy majority that is not electing — so
+        it would starve forever.  The paper's machinery for bringing a
+        node up to date is the epoch-opening diff, so the leader reacts
+        to a persistent higher-epoch vote by running a fresh election
+        itself: it wins (it dominates the quorum's accepted state, and
+        its new epoch exceeds the stranded vote), and the new epoch's
+        diffs re-admit everyone.  Rate-limited to avoid churn."""
+        now = self.engine.now
+        if now - self._last_stranded_react < 4 * self.cfg.leader_timeout_ns:
+            return
+        mx = max_vote(self._vote_sst.snapshot(self.node_id))
+        if mx.e_new > self.E_cur:
+            self._last_stranded_react = now
+            self.engine.trace.count("acuerdo.stranded_voter_recovery")
+            self._start_election()
+
+    # --------------------------------------------------- Fig. 7: election
+
+    def _start_election(self) -> None:
+        if self.role is not Role.ELECTING:
+            self.role = Role.ELECTING
+            self._election_started_at = self.engine.now
+            self._mx_changed_at = self.engine.now
+            self.engine.trace.count("acuerdo.elections_started")
+            self._election_step(timeout_fired=True)
+
+    def _election_step(self, timeout_fired: bool) -> None:
+        now = self.engine.now
+        votes = self._vote_sst.snapshot(self.node_id)
+        mx = max_vote(votes)
+        if mx != self._last_mx:
+            self._last_mx = mx
+            self._mx_changed_at = now
+        own = votes.get(self.node_id) or VOTE_ZERO
+        candidate_stalled = (
+            mx.e_new.leader != self.node_id
+            and now - self._mx_changed_at > self.cfg.candidate_timeout_ns)
+        nobody_voted = mx == VOTE_ZERO
+        action = decide_vote(self.node_id, own, self.E_new, self.Accepted, votes,
+                             timed_out=timeout_fired or candidate_stalled or nobody_voted)
+        if action.decision is not VoteDecision.HOLD:
+            self.E_new = action.new_e_new
+            self._vote_sst.set_and_push(self.node_id, action.new_vote)
+            self._charge(self.cfg.election_cpu_ns)
+            self.engine.trace.count(f"acuerdo.vote_{action.decision.value}")
+            votes = self._vote_sst.snapshot(self.node_id)
+        own = votes.get(self.node_id) or VOTE_ZERO
+        if won_election(self.node_id, votes, own, self.quorum):
+            self._become_leader()
+
+    def _become_leader(self) -> None:
+        """Fig. 7 lines 116-127: transition to leader and send diffs."""
+        self.role = Role.LEADER
+        self.Count = 0
+        self._epoch_msg_seq = {}
+        self._diff_seq = {}
+        # A new epoch starts with a clean slate: every peer gets a diff
+        # (even previously evicted ones — the diff is their way back in)
+        # and rejoins slot accounting from the diff onward.
+        base = self._ring.next_seq
+        for j in list(self._evicted):
+            self._evicted.discard(j)
+            self._ring.include_in_accounting(j, base)
+        comm_cpy = self._commit_sst.snapshot(self.node_id)
+        hdr = MsgHdr(self.E_new, 0)
+        for j in self.peers:
+            row = comm_cpy.get(j)
+            lo = row.committed if row is not None else HDR_ZERO
+            entries = list(self.log.range(lo, self.Accepted,
+                                          inclusive_lo=True, inclusive_hi=True))
+            dmsg = Message(hdr, tuple(entries), diff_payload_size(entries))
+            seq = self._ring.try_send(dmsg, dmsg.size, targets=[j])
+            if seq is not None:
+                self._diff_seq[j] = seq
+            else:
+                self._pending_diffs.append((j, dmsg))
+        self._charge(self.cfg.broadcast_cpu_ns * len(self.peers))
+        if self._election_started_at is not None:
+            self.engine.trace.sample(
+                "acuerdo.election_duration_ns",
+                self.engine.now - self._election_started_at)
+            self._election_started_at = None
+        self.engine.trace.count("acuerdo.elections_won")
+        # Liveness no-op (deviation 2 in the module docstring): gives the
+        # followers the first new-epoch commit that unlocks diff delivery.
+        self.client_broadcast(NOOP, 1)
+        self.cluster.note_new_leader(self.node_id)
+
+    # --------------------------------------------------------------- helpers
+
+    def preseed(self, epoch: Epoch, role: Role) -> None:
+        """Install post-election state directly (benchmark fast-path so
+        steady-state measurements skip the cold-start election)."""
+        self.E_cur = epoch
+        self.E_new = epoch
+        self.role = role
+        self.Accepted = MsgHdr(epoch, 0)
+        self.Committed = MsgHdr(epoch, 0)
+        self.Next = MsgHdr(epoch, 1)
+        self.Count = 0
+        self._accept_sst.write_local(self.node_id, self.Accepted)
+        self._commit_sst.write_local(self.node_id, CommitRow(self.Committed, 0))
+        self._vote_sst.write_local(self.node_id, Vote(epoch, MsgHdr(epoch, 0)))

@@ -1,0 +1,32 @@
+"""Experiment harness: build systems, drive workloads, render results.
+
+One module per paper artifact:
+
+- :mod:`repro.harness.fig8` — broadcast latency/throughput sweeps;
+- :mod:`repro.harness.table1` — election duration vs replica count;
+- :mod:`repro.harness.fig9` — YCSB-load over the replicated hash table;
+- :mod:`repro.harness.ablations` — the design-decision ablations from
+  DESIGN.md §4 (wire efficiency, slow-node tolerance, slot-release
+  policy, election mechanisms).
+
+The benchmarks in ``benchmarks/`` are thin wrappers over these drivers.
+"""
+
+from repro.harness.factory import SYSTEMS, build_system, settle
+from repro.harness.fig8 import fig8_sweep, fig8_point, Fig8Point
+from repro.harness.table1 import table1_elections
+from repro.harness.fig9 import fig9_ycsb
+from repro.harness.render import render_table, render_series
+
+__all__ = [
+    "SYSTEMS",
+    "build_system",
+    "settle",
+    "fig8_sweep",
+    "fig8_point",
+    "Fig8Point",
+    "table1_elections",
+    "fig9_ycsb",
+    "render_table",
+    "render_series",
+]

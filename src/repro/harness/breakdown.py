@@ -1,0 +1,126 @@
+"""Per-message latency breakdown for Acuerdo (where do the 10 µs go?).
+
+Instruments one Acuerdo cluster to timestamp each stage of a message's
+life — client submit, leader broadcast, follower acceptance, quorum
+commit, client acknowledgment — and renders the stage costs.  Used by
+the ``latency_anatomy`` example and the calibration tests to keep the
+cost model honest about *where* time is spent, not just the total.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.cluster import AcuerdoCluster
+from repro.core.node import AcuerdoNode
+from repro.core.types import MsgHdr
+from repro.sim.engine import Engine, ms, us
+
+
+@dataclass
+class Stages:
+    """Timestamps (ns) of one message's milestones."""
+
+    submitted: int = 0
+    broadcast: Optional[int] = None        # left the leader's ring
+    first_accept: Optional[int] = None     # earliest follower acceptance
+    quorum_accept: Optional[int] = None    # acceptance reaching quorum
+    committed: Optional[int] = None        # leader commit
+    acked: Optional[int] = None            # client callback
+
+    def rows(self) -> list[tuple[str, float]]:
+        """(stage, elapsed µs since submit) rows, in order."""
+        out = []
+        for name in ("broadcast", "first_accept", "quorum_accept",
+                     "committed", "acked"):
+            v = getattr(self, name)
+            if v is not None:
+                out.append((name, (v - self.submitted) / 1000.0))
+        return out
+
+
+class LatencyAnatomy:
+    """Instruments an AcuerdoCluster and records per-message stages.
+
+    Works by wrapping node methods — no protocol changes, so the
+    measured path is exactly the production one (the wrappers add zero
+    simulated time).
+    """
+
+    def __init__(self, cluster: AcuerdoCluster):
+        self.cluster = cluster
+        self.engine: Engine = cluster.engine
+        self.stages: dict[int, Stages] = {}
+        self._hdr_to_probe: dict[MsgHdr, int] = {}
+        self._install()
+
+    def _install(self) -> None:
+        anatomy = self
+
+        for node in self.cluster.nodes.values():
+            orig_accept = node._accept
+            orig_deliver = node._deliver
+
+            def accept(msg, node=node, orig=orig_accept):
+                out = orig(msg)
+                probe = anatomy._hdr_to_probe.get(msg.hdr)
+                if probe is not None:
+                    st = anatomy.stages[probe]
+                    now = anatomy.engine.now
+                    if node.node_id != msg.hdr.e.leader:
+                        if st.first_accept is None:
+                            st.first_accept = now
+                        elif st.quorum_accept is None:
+                            st.quorum_accept = now
+                return out
+
+            def deliver(m, node=node, orig=orig_deliver):
+                probe = anatomy._hdr_to_probe.get(m.hdr)
+                if probe is not None and node.node_id == m.hdr.e.leader:
+                    st = anatomy.stages[probe]
+                    if st.committed is None:
+                        st.committed = anatomy.engine.now
+                orig(m)
+
+            node._accept = accept
+            node._deliver = deliver
+
+    def probe(self, probe_id: int, payload, size: int = 10) -> None:
+        """Submit one instrumented message."""
+        st = Stages(submitted=self.engine.now)
+        self.stages[probe_id] = st
+        ldr = self.cluster.leader_id()
+        node: AcuerdoNode = self.cluster.nodes[ldr]
+
+        def on_commit(hdr):
+            st.acked = self.engine.now
+
+        # The leader assigns counts sequentially, so the header of this
+        # message is predictable at submit time.
+        hdr = MsgHdr(node.E_new, node.Count + len(node.pending_client) + 1)
+        node.client_broadcast(payload, size, on_commit)
+        self._hdr_to_probe[hdr] = probe_id
+
+        # Record broadcast time: next time Count reaches our header.
+        def watch():
+            if node.Count >= hdr.cnt and st.broadcast is None:
+                st.broadcast = self.engine.now
+                return
+            self.engine.schedule(100, watch)
+
+        self.engine.schedule(0, watch)
+
+    def render(self) -> str:
+        """Average stage-elapsed table across all probes."""
+        from repro.harness.render import render_table
+
+        names = ("broadcast", "first_accept", "quorum_accept", "committed", "acked")
+        sums: dict[str, list[float]] = {n: [] for n in names}
+        for st in self.stages.values():
+            for name, el in st.rows():
+                sums[name].append(el)
+        rows = [[n, round(sum(v) / len(v), 2) if v else float("nan"), len(v)]
+                for n, v in sums.items()]
+        return render_table("Acuerdo latency anatomy (us since client submit)",
+                            ["stage", "mean_us", "samples"], rows)

@@ -1,0 +1,93 @@
+"""Build any of the seven evaluated systems by name."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cluster import AcuerdoCluster
+from repro.protocols.apus import ApusCluster
+from repro.protocols.base import BroadcastSystem
+from repro.protocols.derecho import DerechoCluster, DerechoConfig
+from repro.protocols.paxos import PaxosCluster
+from repro.protocols.raft import RaftCluster
+from repro.protocols.zab import ZabCluster
+from repro.sim.engine import Engine, ms
+
+#: All systems of §4, by benchmark name.
+SYSTEMS = [
+    "acuerdo",
+    "derecho-leader",
+    "derecho-all",
+    "apus",
+    "libpaxos",
+    "zookeeper",
+    "etcd",
+]
+
+#: The §5 systems the paper discusses but does not (or could not)
+#: benchmark; built the same way, used by the extension benches.
+EXTENSION_SYSTEMS = ["dare", "mu"]
+
+#: How long (sim time) each system needs to elect/settle from cold.
+SETTLE_MS = {
+    "acuerdo": 1,
+    "derecho-leader": 1,
+    "derecho-all": 1,
+    "apus": 1,
+    "libpaxos": 1,
+    "zookeeper": 8,
+    "etcd": 15,
+}
+
+
+def build_system(name: str, engine: Engine, n: int,
+                 record_deliveries: bool = False, **kwargs) -> BroadcastSystem:
+    """Instantiate (but do not start) the named system."""
+    if name == "acuerdo":
+        return AcuerdoCluster(engine, n, record_deliveries=record_deliveries, **kwargs)
+    if name == "derecho-leader":
+        cfg = kwargs.pop("config", DerechoConfig(mode="leader"))
+        return DerechoCluster(engine, n, config=cfg,
+                              record_deliveries=record_deliveries, **kwargs)
+    if name == "derecho-all":
+        cfg = kwargs.pop("config", DerechoConfig(mode="all"))
+        return DerechoCluster(engine, n, config=cfg,
+                              record_deliveries=record_deliveries, **kwargs)
+    if name == "apus":
+        return ApusCluster(engine, n, record_deliveries=record_deliveries, **kwargs)
+    if name == "libpaxos":
+        return PaxosCluster(engine, n, record_deliveries=record_deliveries, **kwargs)
+    if name == "zookeeper":
+        return ZabCluster(engine, n, record_deliveries=record_deliveries, **kwargs)
+    if name == "etcd":
+        return RaftCluster(engine, n, record_deliveries=record_deliveries, **kwargs)
+    if name == "dare":
+        from repro.protocols.dare import DareCluster
+
+        return DareCluster(engine, n, record_deliveries=record_deliveries, **kwargs)
+    if name == "mu":
+        from repro.protocols.mu import MuCluster
+
+        return MuCluster(engine, n, record_deliveries=record_deliveries, **kwargs)
+    raise ValueError(
+        f"unknown system {name!r}; pick from {SYSTEMS + EXTENSION_SYSTEMS}")
+
+
+def settle(system: BroadcastSystem, preseed: bool = True,
+           timeout_ms: Optional[int] = None) -> None:
+    """Start the system and wait until it is serving.
+
+    Acuerdo can be preseeded into steady state (benchmark fast-path);
+    every other system runs its real start-up protocol.
+    """
+    if preseed and isinstance(system, AcuerdoCluster):
+        system.preseed_leader(0)
+        system.start()
+        return
+    system.start()
+    budget = timeout_ms if timeout_ms is not None else SETTLE_MS.get(system.name, 10)
+    deadline = system.engine.now + ms(budget * 4)
+    while system.leader_id() is None and system.engine.now < deadline:
+        system.engine.run(until=system.engine.now + ms(1))
+    if system.leader_id() is None:
+        raise RuntimeError(f"{system.name}: no leader after settle window")

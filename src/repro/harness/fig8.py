@@ -1,0 +1,104 @@
+"""Fig. 8: broadcast latency vs throughput under varying window load.
+
+For each system the driver sweeps the client window over powers of two
+(starting at 1, as in §4.1) and reports one ``(throughput, latency)``
+point per window; the sweep stops once throughput saturates — the knee.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.harness.factory import build_system, settle
+from repro.sim.engine import Engine, ms, us
+from repro.workloads.closedloop import ClosedLoopClient
+
+
+@dataclass
+class Fig8Point:
+    """One point of a Fig. 8 curve."""
+
+    system: str
+    n: int
+    message_size: int
+    window: int
+    throughput_mb_s: float
+    throughput_msgs_s: float
+    mean_latency_us: float
+    p99_latency_us: float
+    completed: int
+
+
+def fig8_point(system_name: str, n: int, message_size: int, window: int,
+               seed: int = 1, min_completions: int = 400,
+               max_sim_ms: float = 400.0) -> Fig8Point:
+    """Measure one (system, n, size, window) point on a fresh cluster.
+
+    The run length adapts to the system's speed: it extends in chunks
+    until ``min_completions`` messages have been measured or the sim-time
+    budget is exhausted (the slow TCP systems need far more simulated
+    time per message than the RDMA ones)."""
+    engine = Engine(seed=seed)
+    system = build_system(system_name, engine, n)
+    settle(system)
+    client = ClosedLoopClient(system, window=window, message_size=message_size,
+                              warmup=min(50, 2 * window))
+    client.start()
+    chunk = ms(2)
+    deadline = engine.now + ms(max_sim_ms)
+    while len(client.latencies) < min_completions and engine.now < deadline:
+        engine.run(until=engine.now + chunk)
+        chunk = min(chunk * 2, ms(32))
+    client.stop()
+    res = client.result()
+    return Fig8Point(
+        system=system_name,
+        n=n,
+        message_size=message_size,
+        window=window,
+        throughput_mb_s=res.throughput_mb_per_sec,
+        throughput_msgs_s=res.throughput_msgs_per_sec,
+        mean_latency_us=res.mean_latency_us,
+        p99_latency_us=res.percentile_latency_us(99),
+        completed=res.completed,
+    )
+
+
+def fig8_sweep(system_name: str, n: int, message_size: int, seed: int = 1,
+               max_window: int = 1024, min_completions: int = 400,
+               saturation_gain: float = 1.08,
+               latency_blowup: float = 12.0) -> list[Fig8Point]:
+    """Sweep windows 1, 2, 4, ... until saturation (§4.1's load sweep).
+
+    Stops when doubling the window no longer buys ``saturation_gain``
+    in throughput, or when latency exceeds ``latency_blowup`` x the
+    floor — the region past the knee carries no information.
+    """
+    points: list[Fig8Point] = []
+    floor_latency: Optional[float] = None
+    window = 1
+    while window <= max_window:
+        p = fig8_point(system_name, n, message_size, window, seed=seed,
+                       min_completions=min_completions)
+        points.append(p)
+        if floor_latency is None and p.completed > 0:
+            floor_latency = p.mean_latency_us
+        if len(points) >= 3 and points[-2].throughput_mb_s > 0:
+            gain = p.throughput_mb_s / points[-2].throughput_mb_s
+            blowup = (floor_latency is not None
+                      and p.mean_latency_us > latency_blowup * floor_latency)
+            if gain < saturation_gain or blowup:
+                break
+        window *= 2
+    return points
+
+
+def knee(points: list[Fig8Point]) -> Fig8Point:
+    """The saturation point: maximum throughput over the sweep."""
+    return max(points, key=lambda p: p.throughput_mb_s)
+
+
+def floor(points: list[Fig8Point]) -> Fig8Point:
+    """The unloaded-latency point (window = 1)."""
+    return min(points, key=lambda p: p.window)

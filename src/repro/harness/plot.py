@@ -1,0 +1,82 @@
+"""ASCII scatter plots: a terminal twin of the paper's figures.
+
+``ascii_plot`` renders named (x, y) series on an optionally log-scaled
+grid using one marker letter per series — close enough to Fig. 8's
+log-y latency/throughput panels to eyeball knees and band separation
+straight from a benchmark log.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+_MARKERS = "abcdefghijklmnopqrstuvwxyz"
+
+
+def _transform(v: float, log: bool) -> float:
+    if log:
+        return math.log10(max(v, 1e-12))
+    return v
+
+
+def _fmt_tick(v: float, log: bool) -> str:
+    if log:
+        return f"1e{v:.0f}"
+    if abs(v) >= 1000:
+        return f"{v:,.0f}"
+    return f"{v:.3g}"
+
+
+def ascii_plot(series: Mapping[str, Sequence[tuple[float, float]]],
+               width: int = 64, height: int = 18,
+               log_x: bool = False, log_y: bool = True,
+               x_label: str = "x", y_label: str = "y",
+               title: str = "") -> str:
+    """Render named series as an ASCII scatter plot.
+
+    Each series gets a letter marker; collisions print ``*``.  Returns
+    the multi-line plot including a legend, axis labels and tick marks.
+    """
+    pts = [(name, x, y) for name, sxy in series.items() for x, y in sxy
+           if (not log_x or x > 0) and (not log_y or y > 0)]
+    if not pts:
+        return f"{title}\n(no data)"
+    xs = [_transform(x, log_x) for _n, x, _y in pts]
+    ys = [_transform(y, log_y) for _n, _x, y in pts]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = min(ys), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1
+    if y_hi == y_lo:
+        y_hi = y_lo + 1
+
+    grid = [[" "] * width for _ in range(height)]
+    marker_of = {name: _MARKERS[i % len(_MARKERS)]
+                 for i, name in enumerate(series)}
+    for name, x, y in pts:
+        cx = int((_transform(x, log_x) - x_lo) / (x_hi - x_lo) * (width - 1))
+        cy = int((_transform(y, log_y) - y_lo) / (y_hi - y_lo) * (height - 1))
+        row = height - 1 - cy
+        cell = grid[row][cx]
+        grid[row][cx] = marker_of[name] if cell in (" ", marker_of[name]) else "*"
+
+    lines = []
+    if title:
+        lines += [title, "=" * min(len(title), width + 10)]
+    top_tick = _fmt_tick(y_hi, log_y)
+    bot_tick = _fmt_tick(y_lo, log_y)
+    label_w = max(len(top_tick), len(bot_tick), len(y_label)) + 1
+    lines.append(f"{y_label:>{label_w}}")
+    for i, row in enumerate(grid):
+        tick = top_tick if i == 0 else (bot_tick if i == height - 1 else "")
+        lines.append(f"{tick:>{label_w}} |" + "".join(row))
+    lines.append(" " * label_w + " +" + "-" * width)
+    left = _fmt_tick(x_lo, log_x)
+    right = _fmt_tick(x_hi, log_x)
+    pad = width - len(left) - len(right)
+    lines.append(" " * (label_w + 2) + left + " " * max(1, pad) + right
+                 + f"   ({x_label})")
+    legend = "  ".join(f"{m}={n}" for n, m in marker_of.items())
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

@@ -1,0 +1,55 @@
+"""Plain-text rendering of benchmark results (tables and series).
+
+The benchmarks print the same rows/series the paper's tables and figures
+report, so a run of ``pytest benchmarks/ --benchmark-only -s`` doubles
+as the reproduction log recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _fmt(v: Any) -> str:
+    if isinstance(v, bool):
+        return str(v)
+    if isinstance(v, float):
+        if v != v:  # NaN
+            return "nan"
+        if abs(v) >= 1000:
+            return f"{v:,.0f}"
+        if abs(v) >= 10:
+            return f"{v:.1f}"
+        return f"{v:.3g}"
+    if isinstance(v, int) and abs(v) >= 1000:
+        return f"{v:,d}"
+    return str(v)
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[Any]]) -> str:
+    """Fixed-width table with a title rule."""
+    srows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in srows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "  "
+    lines = [title, "=" * len(title)]
+    lines.append(sep.join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep.join("-" * w for w in widths))
+    for row in srows:
+        lines.append(sep.join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(title: str, series: dict[str, list[tuple[float, float]]],
+                  x_label: str = "x", y_label: str = "y") -> str:
+    """Render named (x, y) series as aligned columns — one block per
+    series, the text twin of one figure panel."""
+    lines = [title, "=" * len(title)]
+    for name in sorted(series):
+        lines.append(f"-- {name} ({x_label} -> {y_label})")
+        for x, y in series[name]:
+            lines.append(f"   {_fmt(x):>12}  {_fmt(y):>12}")
+    return "\n".join(lines)

@@ -1,0 +1,13 @@
+"""Simulated kernel TCP/IP substrate for the TCP baselines.
+
+libpaxos, ZooKeeper (Zab) and etcd (Raft) run over this package.  The
+point of modelling TCP separately from RDMA is the paper's motivating
+observation (§1): TCP pays per-message *kernel* CPU costs (syscalls,
+stack traversal, interrupts, wakeups) on both ends, which is where the
+order-of-magnitude latency gap in Fig. 8 comes from.  The wire itself is
+the same 25 GbE.
+"""
+
+from repro.net.tcp import TcpParams, TcpEndpoint, TcpNetwork
+
+__all__ = ["TcpParams", "TcpEndpoint", "TcpNetwork"]

@@ -1,0 +1,171 @@
+"""Kernel TCP/IP channels: reliable FIFO streams with per-message CPU cost.
+
+Cost model (defaults calibrated so the TCP atomic-broadcast baselines
+land in the paper's 10²–10³ µs latency band while the RDMA systems sit
+at ~10¹ µs):
+
+- each send charges a syscall + kernel-stack cost on the *sender's* CPU;
+- each receive charges the same on the *receiver's* CPU when its event
+  loop picks the message up;
+- delivery additionally pays interrupt + softirq + wakeup latency on top
+  of wire time, because unlike one-sided RDMA the remote kernel must run
+  before the payload is visible to userspace.
+
+Streams are FIFO and lossless (retransmission appears as delay), so
+protocol logic above this layer can rely on ordering exactly as Zab does.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+from repro.sim.engine import Engine, us
+from repro.sim.process import Process
+
+
+@dataclass
+class TcpParams:
+    """Cost knobs for the kernel TCP path.
+
+    ``wakeup_latency_ns`` models epoll/interrupt delivery: the receiving
+    process is woken rather than discovering data by polling L1 like the
+    RDMA receivers do.
+    """
+
+    kernel_send_cpu_ns: int = 2_200
+    kernel_recv_cpu_ns: int = 2_200
+    stack_latency_ns: int = 9_000   # one-way kernel stack + interrupt + softirq
+    wakeup_latency_ns: int = 3_000  # scheduler wakeup of the blocked/epolling process
+    propagation_ns: int = 550
+    link_bandwidth_bytes_per_ns: float = 3.125
+    header_bytes: int = 66          # eth + ip + tcp
+    loss_prob: float = 0.0
+    rto_ns: int = us(200)
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        """Bytes on the wire for one payload (eth+ip+tcp framing)."""
+        return payload_bytes + self.header_bytes
+
+    def tx_serialization_ns(self, payload_bytes: int) -> int:
+        """Egress-link occupancy for one send."""
+        return max(1, int(self.wire_bytes(payload_bytes) / self.link_bandwidth_bytes_per_ns))
+
+
+class TcpEndpoint:
+    """One node's TCP stack: an inbox plus egress serialisation state."""
+
+    def __init__(self, engine: Engine, process: Process, params: TcpParams):
+        self.engine = engine
+        self.process = process
+        self.params = params
+        self.inbox: deque[tuple[int, Any, int]] = deque()  # (src, payload, size)
+        self.tx_free_at = 0
+        self.sent = 0
+        self.received = 0
+
+    @property
+    def node_id(self) -> int:
+        """The owning process's node id."""
+        return self.process.node_id
+
+    def deliver(self, src: int, payload: Any, size: int) -> None:
+        """Called by the network when a message reaches this host's kernel."""
+        if self.process.crashed:
+            return
+        self.inbox.append((src, payload, size))
+        # epoll/interrupt: wake the process (RDMA receivers never get this).
+        self.process.wake(self.params.wakeup_latency_ns)
+
+    def drain(self, max_batch: Optional[int] = None) -> list[tuple[int, Any]]:
+        """Pop pending messages, charging recv syscall CPU per message.
+
+        Intended to be called from the owner's ``on_poll``; the CPU
+        charge pushes the node's ``busy_until`` forward so heavy receive
+        load genuinely costs time.
+        """
+        out: list[tuple[int, Any]] = []
+        cpu = self.process.cpu
+        while self.inbox and (max_batch is None or len(out) < max_batch):
+            src, payload, _size = self.inbox.popleft()
+            out.append((src, payload))
+            self.received += 1
+            cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(
+                self.params.kernel_recv_cpu_ns * cpu.speed_factor)
+        return out
+
+
+class TcpNetwork:
+    """All-to-all TCP connectivity between a set of processes."""
+
+    def __init__(self, engine: Engine, params: Optional[TcpParams] = None):
+        self.engine = engine
+        self.params = params or TcpParams()
+        self.endpoints: dict[int, TcpEndpoint] = {}
+        self._last_delivery: dict[tuple[int, int], int] = {}
+        self._loss_rng = engine.rng("tcp.loss")
+        self._partition = None
+
+    def set_partition(self, *groups) -> None:
+        """Partition the network (see RdmaFabric.set_partition)."""
+        self._partition = [frozenset(g) for g in groups]
+
+    def heal_partition(self) -> None:
+        """Restore full connectivity."""
+        self._partition = None
+
+    def _blocked(self, src: int, dst: int) -> bool:
+        if self._partition is None:
+            return False
+        return not any(src in g and dst in g for g in self._partition)
+
+    def attach(self, process: Process) -> TcpEndpoint:
+        """Create this process's TCP stack and register it for delivery."""
+        ep = TcpEndpoint(self.engine, process, self.params)
+        self.endpoints[process.node_id] = ep
+        return ep
+
+    def endpoint(self, node_id: int) -> TcpEndpoint:
+        """The endpoint attached for ``node_id``."""
+        return self.endpoints[node_id]
+
+    # ------------------------------------------------------------------ send
+
+    def send(self, src: int, dst: int, payload: Any, size_bytes: int) -> None:
+        """Send one message; charges the sender's kernel CPU immediately
+        (the caller is executing on the sender's CPU) and schedules
+        delivery into the destination inbox."""
+        p = self.params
+        src_ep = self.endpoints[src]
+        if src_ep.process.crashed:
+            return
+        if self._blocked(src, dst):
+            self.engine.trace.count("tcp.partition_drop")
+            return
+        cpu = src_ep.process.cpu
+        cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(
+            p.kernel_send_cpu_ns * cpu.speed_factor)
+        start = max(cpu.busy_until, src_ep.tx_free_at)
+        tx_done = start + p.tx_serialization_ns(size_bytes)
+        src_ep.tx_free_at = tx_done
+        src_ep.sent += 1
+        deliver_at = tx_done + p.propagation_ns + p.stack_latency_ns
+        if p.loss_prob and self._loss_rng.random() < p.loss_prob:
+            deliver_at += p.rto_ns
+        key = (src, dst)
+        deliver_at = max(deliver_at, self._last_delivery.get(key, 0) + 1)
+        self._last_delivery[key] = deliver_at
+        self.engine.schedule_at(deliver_at, self._deliver, dst, src, payload, size_bytes)
+
+    def _deliver(self, dst: int, src: int, payload: Any, size: int) -> None:
+        ep = self.endpoints.get(dst)
+        if ep is not None:
+            ep.deliver(src, payload, size)
+
+    def broadcast(self, src: int, dsts: Iterable[int], payload: Any, size_bytes: int) -> None:
+        """Send the same message to several peers (separate unicasts, as
+        real TCP deployments must)."""
+        for d in dsts:
+            if d != src:
+                self.send(src, d, payload, size_bytes)

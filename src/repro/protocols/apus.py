@@ -1,0 +1,283 @@
+"""APUS: leader-based Paxos over RDMA (§4.1, §5).
+
+APUS accelerates DARE's design by writing log entries directly into the
+acceptors' memory with one-sided writes (the leader holds exclusive
+access to the remote logs) and by batching: each batch holds at most one
+message per client, and acceptors acknowledge batches rather than using
+RDMA completion queues.
+
+The behaviour the paper's analysis keys on — and the reason APUS sits
+between Acuerdo and the TCP systems in Fig. 8 — is the **single pending
+batch**: its Paxos engine was designed for reordering networks and can
+only process one complete batch at a time, so the leader cannot form
+batch ``k+1`` until batch ``k`` is committed.  A delay on any message of
+a batch therefore stalls the whole system, in contrast to
+Acuerdo/Derecho, which exploit FIFO delivery to process partial batches.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.protocols.base import BroadcastSystem, CommitCallback
+from repro.rdma.fabric import RdmaFabric
+from repro.rdma.params import RdmaParams
+from repro.rdma.sst import SharedStateTable
+from repro.sim.engine import Engine, us
+from repro.sim.process import Process, ProcessConfig
+
+
+@dataclass
+class ApusConfig:
+    """Cost knobs.  Per-message CPU is higher than Acuerdo's because
+    every message runs its own consensus instance (ballot bookkeeping,
+    instance table updates) — the §4.1 "separate consensus instance on
+    every message" overhead."""
+
+    batch_max: int = 8              # one message per client; few clients
+    paxos_cpu_ns: int = 1_500       # leader: per-message instance setup
+    accept_cpu_ns: int = 900        # acceptor: per-message validation
+    deliver_cpu_ns: int = 200
+    ack_push_period_ns: int = us(30)  # acceptors acknowledge periodically
+    heartbeat_timeout_ns: int = us(80)
+    state_transfer_ns_per_entry: int = 300  # new-leader log reconciliation
+    process: ProcessConfig = field(default_factory=ProcessConfig)
+
+
+@dataclass
+class _AckRow:
+    """Acceptor state row pushed back to the leader."""
+
+    acked: int      # log entries accepted up to (exclusive)
+    term: int
+    hb: int
+
+
+class ApusNode(Process):
+    """One APUS replica (leader or acceptor)."""
+
+    def __init__(self, cluster: "ApusCluster", node_id: int, cfg: ApusConfig):
+        super().__init__(cluster.engine, node_id,
+                         dataclasses.replace(cfg.process), name=f"apus{node_id}")
+        self.cluster = cluster
+        self.cfg = cfg
+        self.term = 0
+        self.is_leader = node_id == 0
+        self.log: list[tuple[Any, int]] = []     # (payload, size)
+        self.commit_index = 0                    # entries delivered up to
+        self.seen_commit = 0                     # commit index learnt from leader
+        self.pending: list[tuple[Any, int, Optional[CommitCallback]]] = []
+        self.batch_in_flight: Optional[tuple[int, int]] = None  # (start, end)
+        self._cbs: dict[int, CommitCallback] = {}
+        self._hb = 0
+        self._last_ack_push = 0
+        self._leader_seen_at = 0
+        self._stalled_polls = 0
+
+    # ----------------------------------------------------------------- poll
+
+    def on_poll(self) -> None:
+        if self.is_leader:
+            self._leader_step()
+        else:
+            self._acceptor_step()
+        self._deliver()
+
+    def _charge(self, cost: int) -> None:
+        cpu = self.cpu
+        cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(cost * cpu.speed_factor)
+
+    # ---------------------------------------------------------------- leader
+
+    def client_broadcast(self, payload: Any, size: int,
+                         on_commit: Optional[CommitCallback] = None) -> None:
+        self.pending.append((payload, size, on_commit))
+
+    def _leader_step(self) -> None:
+        c = self.cluster
+        # Try to finish the in-flight batch first.
+        if self.batch_in_flight is not None:
+            start, end = self.batch_in_flight
+            acked = 1  # self
+            for p in c.node_ids:
+                if p == self.node_id:
+                    continue
+                row: _AckRow = c.ack_sst.read(self.node_id, p)
+                if row is not None and row.term == self.term and row.acked >= end:
+                    acked += 1
+            if acked >= c.quorum:
+                self.commit_index = end
+                for i in range(start, end):
+                    cb = self._cbs.pop(i, None)
+                    if cb is not None:
+                        self.engine.schedule_at(
+                            max(self.engine.now, self.cpu.busy_until), cb, i)
+                self.batch_in_flight = None
+                self.engine.trace.count("apus.batch_commit")
+            else:
+                return  # single pending batch: nothing else can happen
+        # Form the next batch (one per client up to batch_max).
+        if self.pending and self.batch_in_flight is None:
+            take = min(len(self.pending), self.cfg.batch_max)
+            start = len(self.log)
+            size_total = 0
+            entries = []
+            for _ in range(take):
+                payload, size, cb = self.pending.pop(0)
+                if cb is not None:
+                    self._cbs[len(self.log)] = cb
+                self.log.append((payload, size))
+                entries.append((payload, size))
+                size_total += size
+                self._charge(self.cfg.paxos_cpu_ns)
+            end = len(self.log)
+            self.batch_in_flight = (start, end)
+            # One-sided write of the batch into each acceptor's log,
+            # posted once the per-instance CPU work rings the doorbell.
+            for p in c.node_ids:
+                if p == self.node_id:
+                    continue
+                region, rkey = c.log_regions[p]
+                c.fabric.write(self.node_id, p, region, rkey,
+                               (self.term, start), tuple(entries),
+                               size_total + 16 * take,
+                               wr_id=("apus", start),
+                               earliest_ns=self.cpu.busy_until)
+            self.engine.trace.count("apus.batch_send")
+        # Piggyback/push commit index + heartbeat.
+        self._hb += 1
+        c.commit_sst.set_and_push(self.node_id, (self.term, self.commit_index, self._hb))
+
+    # -------------------------------------------------------------- acceptor
+
+    def _acceptor_step(self) -> None:
+        c = self.cluster
+        inbox = c.log_inboxes[self.node_id]
+        progressed = False
+        while inbox:
+            (term, start), entries = inbox.pop(0)
+            if term < self.term:
+                continue
+            if term > self.term:
+                self.term = term
+            # Exclusive leader access: writes land at the stated offset.
+            del self.log[start:]
+            for payload, size in entries:
+                self.log.append((payload, size))
+                self._charge(self.cfg.accept_cpu_ns)
+            progressed = True
+        row = c.commit_sst.read(self.node_id, c.leader)
+        if row is not None:
+            term, cidx, _hb = row
+            if term == self.term and cidx > self.seen_commit:
+                self.seen_commit = min(cidx, len(self.log))
+        now = self.engine.now
+        # APUS acceptors acknowledge *periodically* — their batched-ack
+        # cadence, not RDMA completions, is the acknowledgment path (§5).
+        if now - self._last_ack_push >= self.cfg.ack_push_period_ns:
+            self._last_ack_push = now
+            self._hb += 1
+            c.ack_sst.set_and_push(self.node_id,
+                                   _AckRow(len(self.log), self.term, self._hb),
+                                   targets=[c.leader],
+                                   earliest_ns=self.cpu.busy_until)
+
+    # ---------------------------------------------------------------- common
+
+    def _deliver(self) -> None:
+        limit = self.commit_index if self.is_leader else self.seen_commit
+        while self.cluster.delivered.get(self.node_id, 0) < limit:
+            i = self.cluster.delivered.get(self.node_id, 0)
+            payload, _size = self.log[i]
+            self.cluster.record_delivery(self.node_id, payload)
+            self.cluster.delivered[self.node_id] = i + 1
+            self._charge(self.cfg.deliver_cpu_ns)
+
+
+class ApusCluster(BroadcastSystem):
+    """An APUS deployment with a fixed initial leader (node 0).
+
+    Fail-over uses a Raft-style term bump with explicit state transfer:
+    the new leader must pull log state from a quorum before serving —
+    the round trip Acuerdo's up-to-date election avoids (§3.3)."""
+
+    name = "apus"
+    client_hop_ns = 1_100   # RDMA client transport
+
+    def __init__(self, engine: Engine, n: int, config: Optional[ApusConfig] = None,
+                 rdma_params: Optional[RdmaParams] = None, record_deliveries: bool = True):
+        super().__init__(engine, n, record_deliveries)
+        self.cfg = config or ApusConfig()
+        self.fabric = RdmaFabric(engine, self.node_ids, rdma_params)
+        self.quorum = n // 2 + 1
+        self.leader = 0
+        self.delivered: dict[int, int] = {}
+        # Remote log regions: the leader writes batches straight into
+        # acceptor memory; inboxes model the written-but-not-scanned area.
+        self.log_inboxes: dict[int, list] = {i: [] for i in self.node_ids}
+        self.log_regions: dict[int, tuple] = {}
+        for i in self.node_ids:
+            region = self.fabric.register(
+                i, f"apus.log.{i}", 1 << 22,
+                on_write=lambda key, value, size, i=i: self.log_inboxes[i].append((key, value)))
+            self.log_regions[i] = (region, region.grant())
+        self.ack_sst = SharedStateTable(self.fabric, "apus.ack", self.node_ids,
+                                        row_size_bytes=20, initial=None)
+        self.commit_sst = SharedStateTable(self.fabric, "apus.commit", self.node_ids,
+                                           row_size_bytes=20, initial=None)
+        self.nodes: dict[int, ApusNode] = {i: ApusNode(self, i, self.cfg)
+                                           for i in self.node_ids}
+        self.nodes[0].is_leader = True
+        self._failover_scheduled = False
+
+    def start(self) -> None:
+        for nd in self.nodes.values():
+            nd.start()
+        self.engine.schedule(self.cfg.heartbeat_timeout_ns, self._watchdog)
+
+    def _watchdog(self) -> None:
+        """Cluster-level failure detector driving APUS's (simplified)
+        Paxos-based election: on leader death the next live node runs a
+        term bump plus a state-transfer round before serving."""
+        if self.nodes[self.leader].crashed:
+            live = [i for i in self.node_ids if not self.nodes[i].crashed]
+            if len(live) >= self.quorum:
+                new = min(live)
+                old_node = self.nodes[self.leader]
+                nd = self.nodes[new]
+                # State transfer: adopt the longest log among live nodes
+                # (charged per entry — the cost Acuerdo's election avoids).
+                donor = max(live, key=lambda i: len(self.nodes[i].log))
+                transfer = self.nodes[donor].log[len(nd.log):]
+                nd.log.extend(transfer)
+                nd.term = max(self.nodes[i].term for i in live) + 1
+                nd.commit_index = max(self.nodes[i].seen_commit for i in live + [donor])
+                nd.commit_index = max(nd.commit_index, self.nodes[donor].seen_commit)
+                nd._charge(self.cfg.state_transfer_ns_per_entry * max(1, len(transfer)))
+                nd.is_leader = True
+                nd.pending.extend(old_node.pending)
+                old_node.pending = []
+                nd.batch_in_flight = None
+                self.leader = new
+                self.engine.trace.count("apus.failover")
+        self.engine.schedule(self.cfg.heartbeat_timeout_ns, self._watchdog)
+
+    def processes(self):
+        return list(self.nodes.values())
+
+    def submit(self, payload: Any, size_bytes: int,
+               on_commit: Optional[CommitCallback] = None) -> bool:
+        nd = self.nodes[self.leader]
+        if nd.crashed:
+            return False
+        nd.client_broadcast(payload, size_bytes, on_commit)
+        return True
+
+    def leader_id(self) -> Optional[int]:
+        return None if self.nodes[self.leader].crashed else self.leader
+
+    def crash(self, node_id: int) -> None:
+        self.nodes[node_id].crash()
+        self.fabric.crash_node(node_id)

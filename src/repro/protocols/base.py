@@ -1,0 +1,138 @@
+"""The common face of every atomic broadcast system in this repo.
+
+The harness (workload clients, safety checker, Fig. 8/9 drivers) only
+talks to :class:`BroadcastSystem`, so Acuerdo and the six baselines are
+driven and measured by exactly the same code.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+
+#: Signature of a commit acknowledgment: called once, at the moment the
+#: message is committed at (and deliverable from) the serving node.
+CommitCallback = Callable[[Any], None]
+
+
+class DeliveryRecorder:
+    """Per-node delivered-message journals used by the safety checks.
+
+    ``sequences[n]`` is the list of payloads node ``n`` delivered, in
+    delivery order.  The atomic-broadcast properties (§2.2) are asserted
+    over these: every pair of sequences must be prefix-related (Total
+    Order, no gaps), payloads must have been broadcast (Integrity) and
+    appear at most once per node (No Duplication).
+    """
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.sequences: dict[int, list[Any]] = {}
+        self.counts: dict[int, int] = {}
+
+    def record(self, node_id: int, payload: Any) -> None:
+        self.counts[node_id] = self.counts.get(node_id, 0) + 1
+        if self.enabled:
+            self.sequences.setdefault(node_id, []).append(payload)
+
+    def delivered_count(self, node_id: int) -> int:
+        return self.counts.get(node_id, 0)
+
+    def check_total_order(self) -> None:
+        """Raise AssertionError unless all sequences are prefix-related."""
+        seqs = [s for s in self.sequences.values() if s]
+        for i, a in enumerate(seqs):
+            for b in seqs[i + 1:]:
+                n = min(len(a), len(b))
+                if a[:n] != b[:n]:
+                    k = next(j for j in range(n) if a[j] != b[j])
+                    raise AssertionError(
+                        f"total order violated at position {k}: {a[k]!r} != {b[k]!r}")
+
+    def check_no_duplication(self, key: Callable[[Any], Any] = lambda p: p) -> None:
+        for node, seq in self.sequences.items():
+            keys = [key(p) for p in seq]
+            if len(keys) != len(set(keys)):
+                raise AssertionError(f"node {node} delivered a message twice")
+
+    def check_integrity(self, broadcast: set) -> None:
+        for node, seq in self.sequences.items():
+            for p in seq:
+                if p not in broadcast:
+                    raise AssertionError(f"node {node} delivered out-of-thin-air {p!r}")
+
+
+class BroadcastSystem(abc.ABC):
+    """A running atomic-broadcast deployment inside one engine.
+
+    Lifecycle: construct → ``start()`` → feed with ``submit`` while
+    running the engine → inspect ``deliveries`` / metrics.
+    """
+
+    #: short identifier used in benchmark output ("acuerdo", "zab", ...)
+    name: str = "abstract"
+
+    #: one-way client<->cluster transport latency (ns) for the closed-loop
+    #: clients; RDMA systems override this with the one-sided-write cost.
+    client_hop_ns: int = 14_000
+
+    def __init__(self, engine: Engine, n: int, record_deliveries: bool = True):
+        self.engine = engine
+        self.n = n
+        self.node_ids = list(range(n))
+        self.deliveries = DeliveryRecorder(enabled=record_deliveries)
+        #: callbacks ``(node_id, payload)`` invoked on every app-level
+        #: delivery — the hook state-machine replication builds on.
+        self.delivery_listeners: list[Callable[[int, Any], None]] = []
+
+    # ------------------------------------------------------------- lifecycle
+
+    @abc.abstractmethod
+    def start(self) -> None:
+        """Start all replica processes (and any election needed)."""
+
+    @abc.abstractmethod
+    def processes(self) -> list[Process]:
+        """All replica processes (for failure injection)."""
+
+    # ---------------------------------------------------------------- client
+
+    @abc.abstractmethod
+    def submit(self, payload: Any, size_bytes: int,
+               on_commit: Optional[CommitCallback] = None) -> bool:
+        """Hand a client payload to the current serving node.
+
+        Returns False when no node is currently able to take requests
+        (mid-election); the client retries.  ``on_commit`` fires when the
+        message commits at the serving node.
+        """
+
+    @abc.abstractmethod
+    def leader_id(self) -> Optional[int]:
+        """Current leader/serving node, or None during elections."""
+
+    # --------------------------------------------------------------- failure
+
+    def crash(self, node_id: int) -> None:
+        """Crash-stop a replica: its process halts and, for RDMA systems,
+        its NIC powers off."""
+        for p in self.processes():
+            if p.node_id == node_id:
+                p.crash()
+
+    def record_delivery(self, node_id: int, payload: Any) -> None:
+        self.deliveries.record(node_id, payload)
+        for listener in self.delivery_listeners:
+            listener(node_id, payload)
+
+    # ------------------------------------------------------------ inspection
+
+    def min_delivered(self) -> int:
+        """Smallest per-node delivered count across live replicas."""
+        live = [p.node_id for p in self.processes() if not p.crashed]
+        if not live:
+            return 0
+        return min(self.deliveries.delivered_count(nid) for nid in live)

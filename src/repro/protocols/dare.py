@@ -1,0 +1,331 @@
+"""DARE: state machine replication on RDMA — the §5 ancestor baseline.
+
+DARE (Poke & Hoefler, HPDC'15) pioneered RDMA atomic broadcast: leaders
+hold exclusive write access to acceptor logs (acceptors close their
+other connections and keep their CPUs passive), and replication is
+driven entirely by the leader's RDMA completions.
+
+The paper's §5 analysis pins DARE's cost on **fine-grained
+completions**: "in order to send a message to a remote acceptor,
+leaders must first write to the log, ensure the write is completed,
+then mark the entry as valid" — two *sequential, signaled* writes per
+entry per follower, each waiting for its completion before the next
+step, in contrast to Acuerdo's fire-and-forget pipeline with selective
+signaling.  We model exactly that chain.
+
+For leader election, DARE "requires every acceptor to vote at most once
+per election round.  Consequently, DARE can deadlock when several
+acceptors fall into an election but split their vote among several
+valid contenders; this split vote deadlock will result in another
+expensive timeout and election round.  To deal with this ... DARE uses
+randomized timeouts", i.e. Raft-style elections with slack timeouts —
+modelled as such.
+
+DARE is not in the paper's Fig. 8 (APUS superseded it); this module
+exists for the extension benchmark (`test_bench_extension_dare_mu.py`)
+that places the whole RDMA lineage on one axis.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.protocols.base import BroadcastSystem, CommitCallback
+from repro.rdma.fabric import RdmaFabric
+from repro.rdma.params import RdmaParams
+from repro.rdma.sst import SharedStateTable
+from repro.sim.engine import Engine, us
+from repro.sim.process import Process, ProcessConfig
+
+
+@dataclass
+class DareConfig:
+    """DARE cost/behaviour knobs."""
+
+    entry_cpu_ns: int = 600            # leader per-entry bookkeeping
+    deliver_cpu_ns: int = 200
+    commit_push_period_ns: int = us(4)
+    heartbeat_timeout_min_ns: int = us(600)   # randomized, slack (§5)
+    heartbeat_timeout_max_ns: int = us(1_400)
+    heartbeat_period_ns: int = us(100)
+    max_inflight: int = 64             # pipelined entries per follower chain
+    process: ProcessConfig = field(default_factory=ProcessConfig)
+
+
+class DareNode(Process):
+    """One DARE replica.
+
+    Acceptors are CPU-passive for replication: their logs fill via
+    one-sided writes and they only wake to deliver and to monitor the
+    leader.  All replication control runs at the leader, driven by its
+    completion queue.
+    """
+
+    def __init__(self, cluster: "DareCluster", node_id: int, cfg: DareConfig):
+        super().__init__(cluster.engine, node_id,
+                         dataclasses.replace(cfg.process), name=f"dare{node_id}")
+        self.cluster = cluster
+        self.cfg = cfg
+        self.term = 0
+        self.is_leader = False
+        self.log: list[tuple[Any, int]] = []
+        self.commit_index = 0
+        self.seen_commit = 0
+        self.pending: list[tuple[Any, int, Optional[CommitCallback]]] = []
+        self._cbs: dict[int, CommitCallback] = {}
+        # Leader-side replication chains: per follower, the next entry to
+        # write and the phase of the in-flight step.
+        self._chain_next: dict[int, int] = {}      # follower -> next entry idx
+        self._chain_phase: dict[int, tuple] = {}   # follower -> ("entry"|"valid", idx)
+        self._acked: dict[int, int] = {}           # follower -> entries valid upto
+        self._votes: set[int] = set()
+        self._rng = cluster.engine.rng(f"dare.{node_id}")
+        self._deadline = 0
+        self._reset_timer()
+        self._last_hb_sent = 0
+        self._last_commit_push = 0
+
+    # ------------------------------------------------------------------ util
+
+    def _charge(self, cost: int) -> None:
+        cpu = self.cpu
+        cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(cost * cpu.speed_factor)
+
+    def _reset_timer(self) -> None:
+        span = self.cfg.heartbeat_timeout_max_ns - self.cfg.heartbeat_timeout_min_ns
+        self._deadline = (self.engine.now + self.cfg.heartbeat_timeout_min_ns
+                          + self._rng.randrange(max(1, span)))
+
+    # ------------------------------------------------------------------ poll
+
+    def on_poll(self) -> None:
+        if self.is_leader:
+            self._drain_completions()
+            self._advance_chains()
+            self._advance_commit()
+            self._push_commit_row()
+        else:
+            self._acceptor_step()
+            if self.engine.now >= self._deadline:
+                self.cluster.run_election(self.node_id)
+                self._reset_timer()
+        self._deliver()
+
+    # ---------------------------------------------------------------- leader
+
+    def client_broadcast(self, payload: Any, size: int,
+                         on_commit: Optional[CommitCallback] = None) -> None:
+        self.pending.append((payload, size, on_commit))
+
+    def become_leader(self, term: int) -> None:
+        self.is_leader = True
+        self.term = term
+        peers = [p for p in self.cluster.node_ids if p != self.node_id]
+        self._chain_next = {p: min(self._acked.get(p, 0), len(self.log)) for p in peers}
+        self._chain_phase = {}
+        self._acked = {p: self._chain_next[p] for p in peers}
+        self.engine.trace.count("dare.elected")
+
+    def _advance_chains(self) -> None:
+        # Pull pending client payloads into the local log first.
+        while self.pending:
+            payload, size, cb = self.pending.pop(0)
+            if cb is not None:
+                self._cbs[len(self.log)] = cb
+            self.log.append((payload, size))
+            self._charge(self.cfg.entry_cpu_ns)
+        # Per-follower chains: entry write -> completion -> valid write
+        # -> completion -> next entry.  The fine-grained completion
+        # discipline of §5, pipelined at most max_inflight deep.
+        for p, nxt in self._chain_next.items():
+            if p in self._chain_phase:
+                continue  # a step is already in flight to this follower
+            if self.cluster.nodes[p].crashed:
+                continue
+            if nxt >= len(self.log) or nxt - self._acked.get(p, 0) >= self.cfg.max_inflight:
+                continue
+            payload, size = self.log[nxt]
+            region, rkey = self.cluster.log_regions[p]
+            self._chain_phase[p] = ("entry", nxt)
+            self.cluster.fabric.write(
+                self.node_id, p, region, rkey, ("entry", self.term, nxt),
+                (payload, size), size, signaled=True,
+                wr_id=("dare-entry", p, nxt), earliest_ns=self.cpu.busy_until)
+
+    def _drain_completions(self) -> None:
+        for comp in self.cluster.fabric.nic(self.node_id).cq.drain():
+            kind = comp.wr_id[0] if isinstance(comp.wr_id, tuple) else None
+            if kind == "dare-entry":
+                _, p, idx = comp.wr_id
+                # Entry is durable at the follower: mark it valid with a
+                # second signaled write.
+                region, rkey = self.cluster.log_regions[p]
+                self._chain_phase[p] = ("valid", idx)
+                self.cluster.fabric.write(
+                    self.node_id, p, region, rkey, ("valid", self.term, idx),
+                    None, 8, signaled=True, wr_id=("dare-valid", p, idx),
+                    earliest_ns=self.cpu.busy_until)
+            elif kind == "dare-valid":
+                _, p, idx = comp.wr_id
+                self._acked[p] = max(self._acked.get(p, 0), idx + 1)
+                self._chain_phase.pop(p, None)
+                self._chain_next[p] = idx + 1
+
+    def _advance_commit(self) -> None:
+        if not self._acked:
+            return
+        acks = sorted([len(self.log)] + list(self._acked.values()), reverse=True)
+        majority = acks[self.cluster.quorum - 1]
+        if majority > self.commit_index:
+            self.commit_index = majority
+
+    def _push_commit_row(self) -> None:
+        now = self.engine.now
+        if now - self._last_commit_push >= self.cfg.commit_push_period_ns:
+            self._last_commit_push = now
+            self.cluster.commit_sst.set_and_push(
+                self.node_id, (self.term, self.commit_index, now),
+                earliest_ns=self.cpu.busy_until)
+
+    # -------------------------------------------------------------- acceptor
+
+    def _acceptor_step(self) -> None:
+        inbox = self.cluster.log_inboxes[self.node_id]
+        while inbox:
+            key, value = inbox.pop(0)
+            kind, term, idx = key
+            if term < self.term:
+                continue
+            self.term = max(self.term, term)
+            if kind == "entry":
+                payload, size = value
+                while len(self.log) < idx:
+                    self.log.append((None, 0))
+                if idx < len(self.log):
+                    self.log[idx] = (payload, size)
+                else:
+                    self.log.append((payload, size))
+            # "valid" markers need no acceptor CPU: validity is checked
+            # when delivering.
+        row = self.cluster.commit_sst.read(self.node_id, self.cluster.leader)
+        if row is not None:
+            term, cidx, _ts = row
+            if term >= self.term and cidx > self.seen_commit:
+                self.seen_commit = min(cidx, len(self.log))
+                self._reset_timer()
+
+    # ---------------------------------------------------------------- common
+
+    def _deliver(self) -> None:
+        limit = self.commit_index if self.is_leader else self.seen_commit
+        delivered = self.cluster.delivered.setdefault(self.node_id, 0)
+        while delivered < limit:
+            payload, _size = self.log[delivered]
+            if payload is not None:
+                self.cluster.record_delivery(self.node_id, payload)
+            cb = self._cbs.pop(delivered, None)
+            if cb is not None:
+                self.engine.schedule_at(max(self.engine.now, self.cpu.busy_until),
+                                        cb, delivered)
+            delivered += 1
+            self._charge(self.cfg.deliver_cpu_ns)
+        self.cluster.delivered[self.node_id] = delivered
+
+
+class DareCluster(BroadcastSystem):
+    """A DARE deployment.
+
+    Elections use randomized timeouts with at-most-one-vote-per-round
+    acceptors, so split votes force whole new rounds (§5) — implemented
+    in :meth:`run_election`, which the timing-out acceptor triggers.
+    """
+
+    name = "dare"
+    client_hop_ns = 1_100
+
+    def __init__(self, engine: Engine, n: int, config: Optional[DareConfig] = None,
+                 rdma_params: Optional[RdmaParams] = None, record_deliveries: bool = True):
+        super().__init__(engine, n, record_deliveries)
+        self.cfg = config or DareConfig()
+        self.fabric = RdmaFabric(engine, self.node_ids, rdma_params)
+        self.quorum = n // 2 + 1
+        self.leader = 0
+        self.delivered: dict[int, int] = {}
+        self.log_inboxes: dict[int, list] = {i: [] for i in self.node_ids}
+        self.log_regions: dict[int, tuple] = {}
+        for i in self.node_ids:
+            region = self.fabric.register(
+                i, f"dare.log.{i}", 1 << 22,
+                on_write=lambda key, value, size, i=i: self.log_inboxes[i].append((key, value)))
+            self.log_regions[i] = (region, region.grant())
+        self.commit_sst = SharedStateTable(self.fabric, "dare.commit", self.node_ids,
+                                           row_size_bytes=24, initial=None)
+        self.nodes: dict[int, DareNode] = {i: DareNode(self, i, self.cfg)
+                                           for i in self.node_ids}
+        self._election_term = 0
+        self._round_votes: dict[int, int] = {}   # term -> votes for candidate
+        self._round_voted: dict[int, set] = {}   # term -> acceptors that voted
+
+    def start(self) -> None:
+        self.nodes[0].become_leader(term=1)
+        self._election_term = 1
+        for nd in self.nodes.values():
+            nd.start()
+
+    # -------------------------------------------------------------- election
+
+    def run_election(self, candidate: int) -> None:
+        """One DARE election round started by a timing-out acceptor.
+
+        Every live acceptor votes at most once per term, for the first
+        candidate that reaches it; concurrent candidates split the vote
+        and the round fails, forcing a new randomized timeout (§5)."""
+        if self.nodes[candidate].crashed:
+            return
+        term = self._election_term + 1
+        voted = self._round_voted.setdefault(term, set())
+        votes = 0
+        for p in self.node_ids:
+            nd = self.nodes[p]
+            if nd.crashed or p in voted:
+                continue
+            # Vote only for candidates whose log is at least as long.
+            if len(self.nodes[candidate].log) >= len(nd.log) or p == candidate:
+                voted.add(p)
+                votes += 1
+        self.engine.trace.count("dare.election_rounds")
+        if votes >= self.quorum:
+            self._election_term = term
+            old = self.nodes[self.leader]
+            if old.is_leader:
+                old.is_leader = False
+            self.leader = candidate
+            nd = self.nodes[candidate]
+            nd.pending.extend(old.pending)
+            old.pending = []
+            nd.become_leader(term)
+        else:
+            self.engine.trace.count("dare.split_vote")
+
+    # ------------------------------------------------------------- interface
+
+    def processes(self):
+        return list(self.nodes.values())
+
+    def submit(self, payload: Any, size_bytes: int,
+               on_commit: Optional[CommitCallback] = None) -> bool:
+        nd = self.nodes[self.leader]
+        if nd.crashed or not nd.is_leader:
+            return False
+        nd.client_broadcast(payload, size_bytes, on_commit)
+        return True
+
+    def leader_id(self) -> Optional[int]:
+        nd = self.nodes[self.leader]
+        return self.leader if (not nd.crashed and nd.is_leader) else None
+
+    def crash(self, node_id: int) -> None:
+        self.nodes[node_id].crash()
+        self.fabric.crash_node(node_id)

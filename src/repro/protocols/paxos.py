@@ -1,0 +1,250 @@
+"""Classic multi-Paxos over TCP — the libpaxos baseline (§4).
+
+libpaxos is an in-memory Paxos implementation: a distinguished proposer
+runs phase 2 per instance (phase 1 is amortised over the proposer's
+reign), acceptors broadcast ACCEPTED to all learners, and every node
+learns/delivers an instance once a quorum of acceptors has accepted it.
+No disk is involved, so libpaxos sits *below* ZooKeeper/etcd but an
+order of magnitude above the RDMA systems: every instance costs
+kernel-TCP messages quadratic in the learner fan-out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.tcp import TcpNetwork, TcpParams
+from repro.protocols.base import BroadcastSystem, CommitCallback
+from repro.sim.engine import Engine, us
+from repro.sim.process import Process, ProcessConfig
+
+
+@dataclass
+class PaxosConfig:
+    """libpaxos cost knobs."""
+
+    window: int = 64                    # pipelined open instances
+    propose_cpu_ns: int = 6_000         # per-instance proposer bookkeeping
+    accept_cpu_ns: int = 3_000
+    learn_cpu_ns: int = 1_500
+    heartbeat_period_ns: int = us(150)
+    leader_timeout_ns: int = us(800)
+    prepare_cpu_ns: int = 8_000
+    msg_overhead_bytes: int = 40
+    process: ProcessConfig = field(
+        default_factory=lambda: ProcessConfig(poll_interval_ns=2_000, poll_jitter_ns=500))
+
+
+class PaxosNode(Process):
+    """One libpaxos replica (proposer + acceptor + learner)."""
+
+    def __init__(self, cluster: "PaxosCluster", node_id: int, cfg: PaxosConfig):
+        super().__init__(cluster.engine, node_id,
+                         dataclasses.replace(cfg.process), name=f"paxos{node_id}")
+        self.cluster = cluster
+        self.cfg = cfg
+        self.ep = cluster.net.attach(self)
+        # Acceptor state, per instance id.
+        self.promised: dict[int, int] = {}
+        self.accepted: dict[int, tuple[int, Any, int]] = {}   # iid -> (ballot, value, size)
+        self.min_promised = 0            # ballot floor from PREPAREs
+        # Learner state.
+        self.learn_votes: dict[int, dict[int, int]] = {}      # iid -> {acceptor: ballot}
+        self.chosen: dict[int, tuple[Any, int]] = {}
+        self.next_deliver = 0
+        # Proposer state.
+        self.is_proposer = node_id == 0
+        self.ballot = node_id + 1        # disjoint ballot spaces per node
+        self.next_iid = 0
+        self.pending: list[tuple[Any, int, Optional[CommitCallback]]] = []
+        self._cbs: dict[int, CommitCallback] = {}
+        self.open_instances: set[int] = set()
+        self._prepare_promises: dict[int, dict] = {}
+        self.preparing = False
+        self._last_hb_seen = 0
+        self._last_hb_sent = 0
+
+    # ------------------------------------------------------------------ util
+
+    def _charge(self, cost: int) -> None:
+        cpu = self.cpu
+        cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(cost * cpu.speed_factor)
+
+    def _send(self, dst: int, msg: tuple, size: int) -> None:
+        self.cluster.net.send(self.node_id, dst, msg, size + self.cfg.msg_overhead_bytes)
+
+    def _bcast(self, msg: tuple, size: int, include_self: bool = False) -> None:
+        for p in self.cluster.node_ids:
+            if p == self.node_id:
+                continue
+            self._send(p, msg, size)
+        if include_self:
+            self._dispatch(self.node_id, msg)
+
+    # ------------------------------------------------------------------ poll
+
+    def on_poll(self) -> None:
+        for src, msg in self.ep.drain():
+            self._dispatch(src, msg)
+        if self.is_proposer and not self.preparing:
+            self._propose_step()
+        elif not self.is_proposer:
+            if self.engine.now - self._last_hb_seen > self.cfg.leader_timeout_ns:
+                self._maybe_take_over()
+
+    # -------------------------------------------------------------- proposer
+
+    def client_broadcast(self, payload: Any, size: int,
+                         on_commit: Optional[CommitCallback] = None) -> None:
+        self.pending.append((payload, size, on_commit))
+
+    def _propose_step(self) -> None:
+        while self.pending and len(self.open_instances) < self.cfg.window:
+            payload, size, cb = self.pending.pop(0)
+            iid = self.next_iid
+            self.next_iid += 1
+            if cb is not None:
+                self._cbs[iid] = cb
+            self.open_instances.add(iid)
+            self._charge(self.cfg.propose_cpu_ns)
+            self._bcast(("ACCEPT", self.ballot, iid, payload, size), size,
+                        include_self=True)
+            self.engine.trace.count("paxos.propose")
+        now = self.engine.now
+        if now - self._last_hb_sent >= self.cfg.heartbeat_period_ns:
+            self._last_hb_sent = now
+            self._bcast(("HB", self.ballot), 8)
+
+    def _maybe_take_over(self) -> None:
+        """Proposer timeout: run phase 1 with a higher ballot."""
+        live_lower = [p for p in self.cluster.node_ids
+                      if p < self.node_id and not self.cluster.nodes[p].crashed]
+        if live_lower:
+            # A lower-ranked live node should take over first; our
+            # timeout is staggered by rank to avoid duels.
+            if self.engine.now - self._last_hb_seen < \
+                    self.cfg.leader_timeout_ns * (1 + self.node_id):
+                return
+        self.is_proposer = True
+        self.preparing = True
+        self.ballot += len(self.cluster.node_ids)
+        self.next_iid = self.next_deliver
+        self._prepare_promises = {}
+        self._charge(self.cfg.prepare_cpu_ns)
+        self._bcast(("PREPARE", self.ballot, self.next_deliver), 16, include_self=True)
+        self.engine.trace.count("paxos.prepare")
+
+    # -------------------------------------------------------------- messages
+
+    def _dispatch(self, src: int, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "ACCEPT":
+            _, ballot, iid, payload, size = msg
+            if ballot >= self.min_promised and ballot >= self.promised.get(iid, 0):
+                self.promised[iid] = ballot
+                self.accepted[iid] = (ballot, payload, size)
+                self._charge(self.cfg.accept_cpu_ns)
+                # Acceptors broadcast ACCEPTED to every learner.
+                self._bcast(("ACCEPTED", ballot, iid, payload, size), 24,
+                            include_self=True)
+        elif kind == "ACCEPTED":
+            _, ballot, iid, payload, size = msg
+            votes = self.learn_votes.setdefault(iid, {})
+            votes[src] = ballot
+            same = sum(1 for b in votes.values() if b == ballot)
+            if same >= self.cluster.quorum and iid not in self.chosen:
+                self.chosen[iid] = (payload, size)
+                self._charge(self.cfg.learn_cpu_ns)
+                self._deliver_ready()
+        elif kind == "HB":
+            self._last_hb_seen = self.engine.now
+            if msg[1] > self.ballot and self.is_proposer and self.node_id != 0:
+                pass  # higher proposer exists; benign in this model
+        elif kind == "PREPARE":
+            _, ballot, from_iid = msg
+            if ballot > self.min_promised:
+                self.min_promised = ballot
+                if self.is_proposer and ballot > self.ballot:
+                    self.is_proposer = False  # yield to the new proposer
+                acc = {i: v for i, v in self.accepted.items() if i >= from_iid}
+                self._send(src, ("PROMISE", ballot, acc), 24 + 16 * len(acc))
+        elif kind == "PROMISE":
+            _, ballot, acc = msg
+            if not self.preparing or ballot != self.ballot:
+                return
+            self._prepare_promises[src] = acc
+            if len(self._prepare_promises) + 1 >= self.cluster.quorum:
+                self._finish_prepare()
+
+    def _finish_prepare(self) -> None:
+        """Phase 1 done: re-propose the highest-ballot accepted value per
+        instance, then open for new values."""
+        self.preparing = False
+        merged: dict[int, tuple[int, Any, int]] = {
+            i: v for i, v in self.accepted.items() if i >= self.next_deliver}
+        for acc in self._prepare_promises.values():
+            for iid, (b, payload, size) in acc.items():
+                if iid not in merged or b > merged[iid][0]:
+                    merged[iid] = (b, payload, size)
+        for iid in sorted(merged):
+            _b, payload, size = merged[iid]
+            self.open_instances.add(iid)
+            self.next_iid = max(self.next_iid, iid + 1)
+            self._bcast(("ACCEPT", self.ballot, iid, payload, size), size,
+                        include_self=True)
+        self.engine.trace.count("paxos.takeover_done")
+
+    # ---------------------------------------------------------------- learner
+
+    def _deliver_ready(self) -> None:
+        while self.next_deliver in self.chosen:
+            payload, _size = self.chosen[self.next_deliver]
+            self.cluster.record_delivery(self.node_id, payload)
+            if self.is_proposer:
+                cb = self._cbs.pop(self.next_deliver, None)
+                if cb is not None:
+                    cb(self.next_deliver)
+                self.open_instances.discard(self.next_deliver)
+            self.next_deliver += 1
+            self.engine.trace.count("paxos.deliver")
+
+
+class PaxosCluster(BroadcastSystem):
+    """A libpaxos deployment (all nodes are acceptor+learner, node 0 the
+    initial distinguished proposer)."""
+
+    name = "libpaxos"
+
+    def __init__(self, engine: Engine, n: int, config: Optional[PaxosConfig] = None,
+                 tcp_params: Optional[TcpParams] = None, record_deliveries: bool = True):
+        super().__init__(engine, n, record_deliveries)
+        self.cfg = config or PaxosConfig()
+        self.net = TcpNetwork(engine, tcp_params)
+        self.quorum = n // 2 + 1
+        self.nodes: dict[int, PaxosNode] = {i: PaxosNode(self, i, self.cfg)
+                                            for i in self.node_ids}
+
+    def start(self) -> None:
+        for nd in self.nodes.values():
+            nd.start()
+
+    def processes(self):
+        return list(self.nodes.values())
+
+    def submit(self, payload: Any, size_bytes: int,
+               on_commit: Optional[CommitCallback] = None) -> bool:
+        ldr = self.leader_id()
+        if ldr is None:
+            return False
+        self.nodes[ldr].client_broadcast(payload, size_bytes, on_commit)
+        return True
+
+    def leader_id(self) -> Optional[int]:
+        best = None
+        for nd in self.nodes.values():
+            if not nd.crashed and nd.is_proposer and not nd.preparing:
+                if best is None or nd.ballot > best.ballot:
+                    best = nd
+        return best.node_id if best is not None else None

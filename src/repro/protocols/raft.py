@@ -1,0 +1,304 @@
+"""Raft over TCP — the etcd baseline (§4, §5).
+
+Standard Raft: AppendEntries replication with consistency checks,
+commit on majority match, randomized election timeouts with possible
+split votes (the livelock-shaped behaviour Acuerdo's monotone election
+avoids — §3.3), and etcd's durability discipline: every appended batch
+is fsynced on leader and followers before it is acknowledged.
+
+The deployment costs (kernel TCP + fsync + the etcd request path) put
+this system at the top of the latency band in Fig. 8 and the bottom of
+the throughput ranking in Fig. 9, as measured in the paper.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.tcp import TcpNetwork, TcpParams
+from repro.protocols.base import BroadcastSystem, CommitCallback
+from repro.sim.disk import Disk
+from repro.sim.engine import Engine, us
+from repro.sim.process import Process, ProcessConfig
+
+
+@dataclass
+class RaftConfig:
+    """etcd-deployment cost knobs.
+
+    ``fsync_ns`` is deliberately larger than the ZooKeeper model's: etcd
+    syncs its WAL with stricter defaults, which is where the paper's
+    ~5× gap between ZooKeeper and etcd comes from (Fig. 9)."""
+
+    request_cpu_ns: int = 150_000       # grpc + boltdb + raft pipeline per op
+    append_cpu_ns: int = 4_000
+    fsync_ns: int = 600_000
+    heartbeat_period_ns: int = us(150)
+    election_timeout_min_ns: int = us(500)
+    election_timeout_max_ns: int = us(1000)
+    msg_overhead_bytes: int = 64        # grpc/protobuf framing
+    max_batch: int = 128
+    process: ProcessConfig = field(
+        default_factory=lambda: ProcessConfig(poll_interval_ns=2_000, poll_jitter_ns=500))
+
+
+class RaftNode(Process):
+    """One etcd/Raft server."""
+
+    FOLLOWER, CANDIDATE, LEADER = "follower", "candidate", "leader"
+
+    def __init__(self, cluster: "RaftCluster", node_id: int, cfg: RaftConfig):
+        super().__init__(cluster.engine, node_id,
+                         dataclasses.replace(cfg.process), name=f"etcd{node_id}")
+        self.cluster = cluster
+        self.cfg = cfg
+        self.ep = cluster.net.attach(self)
+        self.disk = Disk(cluster.engine, cfg.fsync_ns, name=f"etcd{node_id}.wal")
+        self.state = self.FOLLOWER
+        self.term = 0
+        self.voted_for: Optional[int] = None
+        self.log: list[tuple[int, Any, int]] = []  # (term, payload, size)
+        self.durable_len = 0
+        self.commit_index = 0
+        self.applied = 0
+        self.pending: list[tuple[Any, int, Optional[CommitCallback]]] = []
+        self._cbs: dict[int, CommitCallback] = {}
+        self.next_index: dict[int, int] = {}
+        self.match_index: dict[int, int] = {}
+        self._votes: set[int] = set()
+        self._election_deadline = 0
+        self._last_hb_sent = 0
+        self._rng = cluster.engine.rng(f"raft.{node_id}")
+        self._reset_election_timer()
+
+    # ------------------------------------------------------------------ util
+
+    def _charge(self, cost: int) -> None:
+        cpu = self.cpu
+        cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(cost * cpu.speed_factor)
+
+    def _send(self, dst: int, msg: tuple, size: int) -> None:
+        self.cluster.net.send(self.node_id, dst, msg, size + self.cfg.msg_overhead_bytes)
+
+    def _bcast(self, msg: tuple, size: int) -> None:
+        for p in self.cluster.node_ids:
+            if p != self.node_id:
+                self._send(p, msg, size)
+
+    def _reset_election_timer(self) -> None:
+        span = self.cfg.election_timeout_max_ns - self.cfg.election_timeout_min_ns
+        self._election_deadline = (self.engine.now + self.cfg.election_timeout_min_ns
+                                   + self._rng.randrange(max(1, span)))
+
+    def last_log(self) -> tuple[int, int]:
+        """(last log term, last log index) for vote comparisons."""
+        return (self.log[-1][0] if self.log else 0, len(self.log))
+
+    # ------------------------------------------------------------------ poll
+
+    def on_poll(self) -> None:
+        for src, msg in self.ep.drain():
+            self._dispatch(src, msg)
+        now = self.engine.now
+        if self.state == self.LEADER:
+            self._leader_step()
+        elif now >= self._election_deadline:
+            self._start_election()
+
+    # -------------------------------------------------------------- election
+
+    def _start_election(self) -> None:
+        self.state = self.CANDIDATE
+        self.term += 1
+        self.voted_for = self.node_id
+        self._votes = {self.node_id}
+        self._reset_election_timer()
+        lt, li = self.last_log()
+        self._bcast(("VOTE_REQ", self.term, lt, li), 24)
+        self.engine.trace.count("raft.elections_started")
+
+    def _become_leader(self) -> None:
+        self.state = self.LEADER
+        n = len(self.log)
+        self.next_index = {p: n for p in self.cluster.node_ids if p != self.node_id}
+        self.match_index = {p: 0 for p in self.cluster.node_ids if p != self.node_id}
+        # Raft commits a no-op at term start to learn the commit frontier.
+        self.log.append((self.term, None, 1))
+        n = len(self.log)
+        self.disk.append(lambda n=n: self._on_durable(n))
+        self._replicate(force=True)
+        self.engine.trace.count("raft.elected")
+
+    # ---------------------------------------------------------------- leader
+
+    def client_broadcast(self, payload: Any, size: int,
+                         on_commit: Optional[CommitCallback] = None) -> None:
+        self.pending.append((payload, size, on_commit))
+
+    def _leader_step(self) -> None:
+        appended = False
+        while self.pending:
+            payload, size, cb = self.pending.pop(0)
+            self._charge(self.cfg.request_cpu_ns)
+            self.log.append((self.term, payload, size))
+            if cb is not None:
+                self._cbs[len(self.log) - 1] = cb
+            appended = True
+        if appended:
+            n = len(self.log)
+            self.disk.append(lambda n=n: self._on_durable(n))
+        now = self.engine.now
+        if appended or now - self._last_hb_sent >= self.cfg.heartbeat_period_ns:
+            self._last_hb_sent = now
+            self._replicate(force=not appended)
+
+    def _on_durable(self, upto: int) -> None:
+        # Only what was in the log when the sync started is durable; a
+        # sync must not vouch for entries appended while it ran.
+        self.durable_len = max(self.durable_len, min(upto, len(self.log)))
+        self._advance_commit()
+
+    def _replicate(self, force: bool) -> None:
+        for p in list(self.next_index):
+            if self.cluster.nodes[p].crashed:
+                continue
+            ni = self.next_index[p]
+            entries = self.log[ni:ni + self.cfg.max_batch]
+            if not entries and not force:
+                continue
+            prev_term = self.log[ni - 1][0] if ni > 0 else 0
+            size = sum(sz for _t, _p, sz in entries)
+            self._send(p, ("APPEND", self.term, ni, prev_term,
+                           tuple(entries), self.commit_index), max(16, size))
+            if entries:
+                self.next_index[p] = ni + len(entries)
+
+    def _advance_commit(self) -> None:
+        if self.state != self.LEADER:
+            return
+        matches = sorted([self.durable_len] + list(self.match_index.values()), reverse=True)
+        n = matches[self.cluster.quorum - 1]
+        # Only entries of the current term commit by counting replicas
+        # (Raft §5.4.2); earlier-term entries commit transitively.
+        while n > self.commit_index and self.log[n - 1][0] != self.term:
+            n -= 1
+        if n > self.commit_index:
+            self.commit_index = n
+            self._apply()
+
+    def _apply(self) -> None:
+        while self.applied < self.commit_index:
+            term, payload, _sz = self.log[self.applied]
+            if payload is not None:
+                self.cluster.record_delivery(self.node_id, payload)
+            cb = self._cbs.pop(self.applied, None)
+            if cb is not None:
+                cb(self.applied)
+            self.applied += 1
+            self.engine.trace.count("raft.apply")
+
+    def _follower_durable(self, upto: int, leader: int) -> None:
+        self.durable_len = max(self.durable_len, min(upto, len(self.log)))
+        self._send(leader, ("APPEND_REP", self.term, True, self.durable_len), 16)
+
+    # -------------------------------------------------------------- messages
+
+    def _dispatch(self, src: int, msg: tuple) -> None:
+        kind = msg[0]
+        term = msg[1]
+        if term > self.term:
+            self.term = term
+            self.voted_for = None
+            if self.state != self.FOLLOWER:
+                self.state = self.FOLLOWER
+        if kind == "VOTE_REQ":
+            _, cterm, clt, cli = msg
+            grant = False
+            if cterm >= self.term and self.voted_for in (None, src):
+                mlt, mli = self.last_log()
+                if (clt, cli) >= (mlt, mli):
+                    grant = True
+                    self.voted_for = src
+                    self._reset_election_timer()
+            self._send(src, ("VOTE_REP", self.term, grant), 16)
+        elif kind == "VOTE_REP":
+            _, vterm, grant = msg
+            if self.state == self.CANDIDATE and vterm == self.term and grant:
+                self._votes.add(src)
+                if len(self._votes) >= self.cluster.quorum:
+                    self._become_leader()
+        elif kind == "APPEND":
+            _, lterm, ni, prev_term, entries, leader_commit = msg
+            if lterm < self.term:
+                self._send(src, ("APPEND_REP", self.term, False, 0), 16)
+                return
+            self.state = self.FOLLOWER
+            self._reset_election_timer()
+            ok = ni == 0 or (len(self.log) >= ni and self.log[ni - 1][0] == prev_term)
+            if not ok:
+                self._send(src, ("APPEND_REP", self.term, False, min(len(self.log), ni)), 16)
+                return
+            if entries:
+                del self.log[ni:]
+                self.log.extend(entries)
+                self.durable_len = min(self.durable_len, ni)
+                self._charge(self.cfg.append_cpu_ns * len(entries))
+                # etcd followers fsync before acknowledging.
+                end = len(self.log)
+                self.disk.append(lambda end=end, src=src:
+                                 self._follower_durable(end, src))
+            else:
+                # Heartbeats may only acknowledge what is already durable.
+                self._send(src, ("APPEND_REP", self.term, True, self.durable_len), 16)
+            if leader_commit > self.commit_index:
+                self.commit_index = min(leader_commit, len(self.log))
+                self._apply()
+        elif kind == "APPEND_REP":
+            _, rterm, ok, match = msg
+            if self.state != self.LEADER or rterm != self.term:
+                return
+            if ok:
+                self.match_index[src] = max(self.match_index.get(src, 0), match)
+                self._advance_commit()
+            else:
+                self.next_index[src] = max(0, min(match, self.next_index.get(src, 1) - 1))
+
+
+class RaftCluster(BroadcastSystem):
+    """An etcd cluster."""
+
+    name = "etcd"
+
+    def __init__(self, engine: Engine, n: int, config: Optional[RaftConfig] = None,
+                 tcp_params: Optional[TcpParams] = None, record_deliveries: bool = True):
+        super().__init__(engine, n, record_deliveries)
+        self.cfg = config or RaftConfig()
+        self.net = TcpNetwork(engine, tcp_params)
+        self.quorum = n // 2 + 1
+        self.nodes: dict[int, RaftNode] = {i: RaftNode(self, i, self.cfg)
+                                           for i in self.node_ids}
+
+    def start(self) -> None:
+        for nd in self.nodes.values():
+            nd.start()
+
+    def processes(self):
+        return list(self.nodes.values())
+
+    def submit(self, payload: Any, size_bytes: int,
+               on_commit: Optional[CommitCallback] = None) -> bool:
+        ldr = self.leader_id()
+        if ldr is None:
+            return False
+        self.nodes[ldr].client_broadcast(payload, size_bytes, on_commit)
+        return True
+
+    def leader_id(self) -> Optional[int]:
+        best = None
+        for nd in self.nodes.values():
+            if not nd.crashed and nd.state == RaftNode.LEADER:
+                if best is None or nd.term > best.term:
+                    best = nd
+        return best.node_id if best is not None else None

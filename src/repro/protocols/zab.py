@@ -1,0 +1,380 @@
+"""Zab over TCP — the ZooKeeper baseline (§4, §5).
+
+Zab is the protocol Acuerdo's broadcast mode is modelled on, so the
+contrasts are precise:
+
+- Zab followers ACK **every proposal** over TCP (kernel CPU both ends);
+  Acuerdo followers overwrite one SST row with the newest header only;
+- Zab's leader sends an explicit COMMIT message per proposal; Acuerdo
+  piggybacks commit state on an overwriting SST row off the critical
+  path;
+- ZooKeeper's election (Fast Leader Election) must *verify* the elected
+  leader is up to date with an extra round after voting — and restart if
+  the check fails — because the optimized up-to-date election was shown
+  incorrect (§5).  Acuerdo's election provides the guarantee by
+  construction.
+
+The deployment model matches the paper's: ZooKeeper 3.4 with its
+transaction log on disk (group-committed fsyncs) and the request
+pipeline's per-op CPU cost.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.net.tcp import TcpNetwork, TcpParams
+from repro.protocols.base import BroadcastSystem, CommitCallback
+from repro.sim.disk import Disk
+from repro.sim.engine import Engine, us
+from repro.sim.process import Process, ProcessConfig
+
+
+@dataclass
+class ZabConfig:
+    """ZooKeeper-deployment cost knobs.
+
+    ``request_cpu_ns`` models the ZK request-processor pipeline
+    (serialisation, session checks, queueing between pipeline stages) —
+    tens of microseconds per op in a JVM service."""
+
+    request_cpu_ns: int = 25_000
+    ack_cpu_ns: int = 3_000
+    fsync_ns: int = 120_000
+    max_requests_per_poll: int = 8      # pipeline stage width: keeps the
+                                        # leader responsive under bursts
+    election_timeout_ns: int = us(6_000)  # large vs loaded poll turns, so
+                                          # ACK floods don't look like death
+    fle_round_ns: int = us(50)          # notification exchange cadence
+    heartbeat_period_ns: int = us(100)
+    msg_overhead_bytes: int = 48        # jute serialization overhead
+    process: ProcessConfig = field(
+        default_factory=lambda: ProcessConfig(poll_interval_ns=2_000, poll_jitter_ns=500))
+
+
+class ZabNode(Process):
+    """One ZooKeeper server."""
+
+    LOOKING, FOLLOWING, LEADING = "looking", "following", "leading"
+
+    def __init__(self, cluster: "ZabCluster", node_id: int, cfg: ZabConfig):
+        super().__init__(cluster.engine, node_id,
+                         dataclasses.replace(cfg.process), name=f"zk{node_id}")
+        self.cluster = cluster
+        self.cfg = cfg
+        self.ep = cluster.net.attach(self)
+        self.disk = Disk(cluster.engine, cfg.fsync_ns, name=f"zk{node_id}.disk")
+        self.state = self.LOOKING
+        self.epoch = 0
+        self.leader: Optional[int] = None
+        self.log: list[tuple[tuple, Any, int]] = []     # (zxid, payload, size)
+        self.counter = 0
+        self.delivered_upto = 0                          # index into log
+        self.pending: list[tuple[Any, int, Optional[CommitCallback]]] = []
+        self._cbs: dict[tuple, CommitCallback] = {}
+        self.acks: dict[tuple, set[int]] = {}
+        self.committed_zxid: tuple = (0, 0)
+        self._durable_upto = 0
+        self._last_hb_seen = 0
+        self._last_hb_sent = 0
+        # Fast Leader Election state
+        self._fle_vote: Optional[tuple] = None           # (zxid, id)
+        self._fle_received: dict[int, tuple] = {}
+        self._fle_round_started = 0
+        self._sync_acks: set[int] = set()
+        self._verify_replies: dict[int, tuple] = {}
+        self._phase = None                               # None|verify|sync
+        self._follower_seen: dict[int, int] = {}
+        self._became_leader_at = 0
+
+    # ------------------------------------------------------------------ util
+
+    def _charge(self, cost: int) -> None:
+        cpu = self.cpu
+        cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(cost * cpu.speed_factor)
+
+    def _send(self, dst: int, msg: tuple, size: int) -> None:
+        self.cluster.net.send(self.node_id, dst, msg, size + self.cfg.msg_overhead_bytes)
+
+    def _bcast(self, msg: tuple, size: int) -> None:
+        for p in self.cluster.node_ids:
+            if p != self.node_id and not self.cluster.nodes[p].crashed:
+                self._send(p, msg, size)
+
+    def last_zxid(self) -> tuple:
+        return self.log[-1][0] if self.log else (0, 0)
+
+    # ------------------------------------------------------------------ poll
+
+    def on_poll(self) -> None:
+        for src, msg in self.ep.drain():
+            self._dispatch(src, msg)
+        if self.state == self.LEADING:
+            self._leader_step()
+        elif self.state == self.FOLLOWING:
+            self._follower_step()
+        else:
+            self._election_step()
+
+    # ------------------------------------------------------------- broadcast
+
+    def client_broadcast(self, payload: Any, size: int,
+                         on_commit: Optional[CommitCallback] = None) -> None:
+        self.pending.append((payload, size, on_commit))
+
+    def _leader_step(self) -> None:
+        now = self.engine.now
+        if now - self._last_hb_sent >= self.cfg.heartbeat_period_ns:
+            self._last_hb_sent = now
+            self._bcast(("PING", self.committed_zxid), 8)
+        # Step down if a quorum of the ensemble is out of contact — a
+        # minority leader must not keep reporting itself as serving.
+        recent = sum(1 for p, t in self._follower_seen.items()
+                     if now - t <= self.cfg.election_timeout_ns
+                     and not self.cluster.nodes[p].crashed)
+        if recent + 1 < self.cluster.quorum and \
+                now - self._became_leader_at > self.cfg.election_timeout_ns:
+            self._enter_election()
+            return
+        taken = 0
+        while self.pending and self._phase is None and \
+                taken < self.cfg.max_requests_per_poll:
+            taken += 1
+            payload, size, cb = self.pending.pop(0)
+            self.counter += 1
+            zxid = (self.epoch, self.counter)
+            self._charge(self.cfg.request_cpu_ns)
+            self.log.append((zxid, payload, size))
+            if cb is not None:
+                self._cbs[zxid] = cb
+            self.acks[zxid] = set()
+            self._bcast(("PROPOSE", zxid, payload, size), size)
+            self.disk.append(lambda zxid=zxid: self._on_self_durable(zxid))
+            self.engine.trace.count("zab.propose")
+
+    def _on_self_durable(self, zxid: tuple) -> None:
+        self._note_ack(zxid, self.node_id)
+
+    def _note_ack(self, zxid: tuple, voter: int) -> None:
+        if self.state != self.LEADING or zxid[0] != self.epoch:
+            return
+        s = self.acks.setdefault(zxid, set())
+        s.add(voter)
+        if len(s) >= self.cluster.quorum and zxid > self.committed_zxid:
+            # Commit everything up to zxid in order.
+            for (z, _p, _sz) in self.log:
+                if self.committed_zxid < z <= zxid:
+                    if len(self.acks.get(z, ())) < self.cluster.quorum and z != zxid:
+                        return  # earlier proposal not yet quorum-acked
+            self.committed_zxid = zxid
+            self._bcast(("COMMIT", zxid), 16)
+            self._deliver_upto(zxid)
+
+    def _deliver_upto(self, zxid: tuple) -> None:
+        while self.delivered_upto < len(self.log):
+            z, payload, _sz = self.log[self.delivered_upto]
+            if z > zxid:
+                break
+            self.delivered_upto += 1
+            self.cluster.record_delivery(self.node_id, payload)
+            cb = self._cbs.pop(z, None)
+            if cb is not None:
+                cb(z)
+            self.engine.trace.count("zab.deliver")
+
+    def _follower_step(self) -> None:
+        # Forward client writes to the leader, as ZooKeeper followers do
+        # (the harness always submits at the leader, so forwarded writes
+        # carry no commit callback).
+        while self.pending:
+            payload, size, _cb = self.pending.pop(0)
+            if self.leader is not None:
+                self._send(self.leader, ("FORWARD", payload, size), size)
+        if self.engine.now - self._last_hb_seen > self.cfg.election_timeout_ns:
+            self._enter_election()
+
+    # -------------------------------------------------------------- messages
+
+    def _dispatch(self, src: int, msg: tuple) -> None:
+        kind = msg[0]
+        if self.state == self.LEADING:
+            self._follower_seen[src] = self.engine.now
+        if kind == "PROPOSE" and self.state == self.FOLLOWING:
+            _, zxid, payload, size = msg
+            if zxid[0] >= self.epoch:
+                self.epoch = zxid[0]
+                self.log.append((zxid, payload, size))
+                self._charge(self.cfg.ack_cpu_ns)
+                self.disk.append(lambda zxid=zxid, src=src:
+                                 self._send(src, ("ACK", zxid), 16))
+        elif kind == "ACK":
+            self._note_ack(msg[1], src)
+        elif kind == "COMMIT" and self.state == self.FOLLOWING:
+            zxid = msg[1]
+            if zxid > self.committed_zxid:
+                self.committed_zxid = zxid
+            self._deliver_upto(self.committed_zxid)
+        elif kind == "PING" and self.state == self.FOLLOWING:
+            self._last_hb_seen = self.engine.now
+            self._send(src, ("PONG",), 8)
+            if msg[1] > self.committed_zxid:
+                self.committed_zxid = msg[1]
+                self._deliver_upto(self.committed_zxid)
+        elif kind == "PONG":
+            pass  # contact already noted above for a leading node
+        elif kind == "FORWARD" and self.state == self.LEADING:
+            _, payload, size = msg
+            self.pending.append((payload, size, None))
+        elif kind == "FLE_VOTE":
+            if self.state == self.LEADING and self._phase is None:
+                # A peer fell back to LOOKING (timeout under load): bring
+                # it back with a fresh SYNC instead of letting it float.
+                log_size = sum(sz for _z, _p, sz in self.log)
+                self._send(src, ("SYNC", self.epoch, self.node_id, tuple(self.log)),
+                           max(64, log_size))
+            else:
+                self._on_fle_vote(src, msg[1])
+        elif kind == "VERIFY_REQ":
+            self._send(src, ("VERIFY_REP", self.last_zxid()), 16)
+        elif kind == "VERIFY_REP":
+            self._verify_replies[src] = msg[1]
+        elif kind == "SYNC" and self.state in (self.LOOKING, self.FOLLOWING):
+            _, epoch, leader, log = msg
+            if epoch >= self.epoch:
+                self.epoch = epoch
+                self.leader = leader
+                self.log = list(log)
+                self.delivered_upto = min(self.delivered_upto, len(self.log))
+                self.state = self.FOLLOWING
+                self._last_hb_seen = self.engine.now
+                self._send(leader, ("SYNC_ACK", epoch), 8)
+                self.engine.trace.count("zab.sync")
+        elif kind == "SYNC_ACK" and self.state == self.LEADING:
+            self._sync_acks.add(src)
+            if len(self._sync_acks) + 1 >= self.cluster.quorum and self._phase == "sync":
+                self._phase = None  # broadcast mode open for business
+                # A quorum now stores exactly our log: commit the synced
+                # prefix (Zab's NEWLEADER commit), or the uncommitted
+                # old-epoch suffix would block every new-epoch commit.
+                if self.log:
+                    self.committed_zxid = self.last_zxid()
+                    self._bcast(("COMMIT", self.committed_zxid), 16)
+                    self._deliver_upto(self.committed_zxid)
+                self.engine.trace.count("zab.broadcast_open")
+
+    # -------------------------------------------------------------- election
+
+    def _enter_election(self) -> None:
+        if self.state != self.LOOKING:
+            self.engine.trace.count("zab.elections_started")
+        self.state = self.LOOKING
+        self.leader = None
+        self._phase = None
+        self._fle_vote = (self.last_zxid(), self.node_id)
+        self._fle_received = {self.node_id: self._fle_vote}
+        self._fle_round_started = self.engine.now
+        self._bcast(("FLE_VOTE", self._fle_vote), 24)
+
+    def _on_fle_vote(self, src: int, vote: tuple) -> None:
+        if self.state != self.LOOKING:
+            # Tell latecomers who the leader is by echoing our vote.
+            if self.leader is not None:
+                self._send(src, ("FLE_VOTE", (self.last_zxid(), self.leader)), 24)
+            return
+        self._fle_received[src] = vote
+        if self._fle_vote is None or vote > self._fle_vote:
+            self._fle_vote = vote
+            self._bcast(("FLE_VOTE", vote), 24)
+
+    def _election_step(self) -> None:
+        if self._fle_vote is None:
+            self._enter_election()
+            return
+        agree = [s for s, v in self._fle_received.items() if v == self._fle_vote]
+        if len(agree) >= self.cluster.quorum:
+            winner = self._fle_vote[1]
+            if winner == self.node_id:
+                self._start_leading()
+            # Followers wait for SYNC from the winner; re-elect on timeout.
+            elif self.engine.now - self._fle_round_started > self.cfg.election_timeout_ns * 2:
+                self._enter_election()
+        elif self.engine.now - self._fle_round_started > self.cfg.election_timeout_ns:
+            # Round stalled: rebroadcast our vote (notification loss model).
+            self._fle_round_started = self.engine.now
+            self._bcast(("FLE_VOTE", self._fle_vote), 24)
+
+    def _start_leading(self) -> None:
+        """Won FLE — but unlike Acuerdo we must *verify* we are up to
+        date with an extra round before serving (§5), restarting the
+        election if the check fails."""
+        self.state = self.LEADING
+        self.leader = self.node_id
+        self._became_leader_at = self.engine.now
+        self._follower_seen = {}
+        self._phase = "verify"
+        self._verify_replies = {}
+        self._bcast(("VERIFY_REQ",), 8)
+        self.engine.schedule(self.cfg.fle_round_ns * 4, self._finish_verify)
+        self.engine.trace.count("zab.elected")
+
+    def _finish_verify(self) -> None:
+        if self.state != self.LEADING or self._phase != "verify":
+            return
+        mine = self.last_zxid()
+        behind = [z for z in self._verify_replies.values() if z > mine]
+        if behind:
+            # Up-to-date check failed: back to election (the restart
+            # Acuerdo's construction avoids).
+            self.engine.trace.count("zab.verify_failed")
+            self._enter_election()
+            return
+        self.epoch = max(self.epoch, mine[0]) + 1
+        self.counter = 0
+        self._phase = "sync"
+        self._sync_acks = set()
+        # State transfer: ship the full uncommitted suffix (coarse DIFF).
+        log_size = sum(sz for _z, _p, sz in self.log[max(0, self.delivered_upto - 1):])
+        for p in self.cluster.node_ids:
+            if p != self.node_id and not self.cluster.nodes[p].crashed:
+                self._send(p, ("SYNC", self.epoch, self.node_id, tuple(self.log)),
+                           max(64, log_size))
+        self.engine.trace.count("zab.sync_sent")
+
+
+class ZabCluster(BroadcastSystem):
+    """A ZooKeeper ensemble."""
+
+    name = "zookeeper"
+
+    def __init__(self, engine: Engine, n: int, config: Optional[ZabConfig] = None,
+                 tcp_params: Optional[TcpParams] = None, record_deliveries: bool = True):
+        super().__init__(engine, n, record_deliveries)
+        self.cfg = config or ZabConfig()
+        self.net = TcpNetwork(engine, tcp_params)
+        self.quorum = n // 2 + 1
+        self.nodes: dict[int, ZabNode] = {i: ZabNode(self, i, self.cfg)
+                                          for i in self.node_ids}
+
+    def start(self) -> None:
+        for nd in self.nodes.values():
+            nd.start()
+            nd._enter_election()
+
+    def processes(self):
+        return list(self.nodes.values())
+
+    def submit(self, payload: Any, size_bytes: int,
+               on_commit: Optional[CommitCallback] = None) -> bool:
+        ldr = self.leader_id()
+        if ldr is None:
+            return False
+        self.nodes[ldr].client_broadcast(payload, size_bytes, on_commit)
+        return True
+
+    def leader_id(self) -> Optional[int]:
+        for nd in self.nodes.values():
+            if not nd.crashed and nd.state == ZabNode.LEADING and nd._phase is None:
+                return nd.node_id
+        return None

@@ -1,0 +1,49 @@
+"""Simulated RDMA substrate (reliable connections, ring buffers, SSTs).
+
+This package is the substitution for the paper's Mellanox ConnectX-4 /
+RoCE hardware (see DESIGN.md §1).  It models the mechanisms Acuerdo's
+performance rests on:
+
+- **one-sided writes** deposit into remote registered memory without any
+  remote-CPU involvement (:mod:`repro.rdma.qp`);
+- **reliable connections** deliver losslessly and in FIFO order, with
+  go-back-N retransmission charged as extra delay on loss;
+- **completions and selective signaling**: only explicitly signaled
+  writes generate completion entries, and a completion retires every
+  earlier unsignaled write on the same QP (:mod:`repro.rdma.nic`);
+- **wire costs**: per-verb NIC processing, link serialisation at
+  25 Gb/s, and the 80-byte minimum wire message that makes Acuerdo's
+  one-write-per-message design twice as bandwidth-efficient as
+  Derecho's two-write design for small payloads (§4.1);
+- **ring buffers** with pluggable slot-release policy
+  (:mod:`repro.rdma.ringbuffer`) — accept-based for Acuerdo,
+  commit-based for Derecho;
+- **shared state tables** with last-writer-wins overwrite semantics
+  (:mod:`repro.rdma.sst`).
+"""
+
+from repro.rdma.params import RdmaParams
+from repro.rdma.memory import MemoryRegion, AccessError
+from repro.rdma.nic import Nic, Completion, CompletionQueue
+from repro.rdma.qp import QueuePair, SendQueueFullError
+from repro.rdma.fabric import RdmaFabric
+from repro.rdma.ringbuffer import RingBuffer, RingReceiver, SlotReleasePolicy
+from repro.rdma.sst import SharedStateTable
+from repro.rdma.mailbox import Mailbox
+
+__all__ = [
+    "Mailbox",
+    "RdmaParams",
+    "MemoryRegion",
+    "AccessError",
+    "Nic",
+    "Completion",
+    "CompletionQueue",
+    "QueuePair",
+    "SendQueueFullError",
+    "RdmaFabric",
+    "RingBuffer",
+    "RingReceiver",
+    "SlotReleasePolicy",
+    "SharedStateTable",
+]

@@ -1,0 +1,139 @@
+"""Cluster-wide RDMA wiring: NICs plus all-to-all reliable connections.
+
+The fabric plays the role of the connection-establishment phase of §2.1
+(device exchange, memory registration, rkey exchange): it creates one
+NIC per node, a queue pair for every ordered pair of nodes, and a
+registry through which structures (ring buffers, SSTs) register memory
+and share rkeys.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.nic import Nic
+from repro.rdma.params import RdmaParams
+from repro.rdma.qp import QueuePair
+from repro.sim.engine import Engine
+
+
+class RdmaFabric:
+    """All NICs and queue pairs of one cluster (plus external clients).
+
+    Node ids are small integers.  Clients that talk to the cluster over
+    RDMA (the §4.3 hash-table client) are just extra node ids.
+    """
+
+    def __init__(self, engine: Engine, node_ids: Iterable[int],
+                 params: Optional[RdmaParams] = None):
+        self.engine = engine
+        self.params = params or RdmaParams()
+        self.nics: dict[int, Nic] = {}
+        self.qps: dict[tuple[int, int], QueuePair] = {}
+        self._bulk_qps: dict[tuple[int, int], QueuePair] = {}
+        self._partition = None
+        self._regions: dict[tuple[int, str], MemoryRegion] = {}
+        for nid in node_ids:
+            self.add_node(nid)
+
+    # ---------------------------------------------------------------- wiring
+
+    def add_node(self, node_id: int) -> Nic:
+        """Add a node, creating QPs to and from every existing node."""
+        if node_id in self.nics:
+            return self.nics[node_id]
+        nic = Nic(self.engine, node_id, self.params)
+        for other_id, other in self.nics.items():
+            self.qps[(node_id, other_id)] = QueuePair(self.engine, nic, other, self.params)
+            self.qps[(other_id, node_id)] = QueuePair(self.engine, other, nic, self.params)
+        self.nics[node_id] = nic
+        return nic
+
+    def qp(self, src: int, dst: int) -> QueuePair:
+        """The reliable connection from ``src`` to ``dst``."""
+        return self.qps[(src, dst)]
+
+    def bulk_qp(self, src: int, dst: int) -> QueuePair:
+        """A separate reliable connection for bulk transfers (lazily
+        created).  Large writes ride their own QP — as RDMC-style data
+        planes do — so control traffic keeps its FIFO lane to itself."""
+        key = (src, dst)
+        qp = self._bulk_qps.get(key)
+        if qp is None:
+            qp = QueuePair(self.engine, self.nics[src], self.nics[dst],
+                           self.params, lane="bulk")
+            self._bulk_qps[key] = qp
+        return qp
+
+    def nic(self, node_id: int) -> Nic:
+        return self.nics[node_id]
+
+    def crash_node(self, node_id: int) -> None:
+        """Power off a node's NIC (host crash)."""
+        self.nics[node_id].power_off()
+
+    # ------------------------------------------------------------ partitions
+
+    def set_partition(self, *groups: Iterable[int]) -> None:
+        """Partition the network: traffic crosses only within a group.
+
+        Nodes not named in any group are isolated.  Cross-partition
+        writes are dropped (the reliable connection would retransmit
+        until its retry budget dies; from the protocol's viewpoint the
+        peer is simply unreachable)."""
+        self._partition = [frozenset(g) for g in groups]
+
+    def heal_partition(self) -> None:
+        """Restore full connectivity."""
+        self._partition = None
+
+    def _blocked(self, src: int, dst: int) -> bool:
+        if self._partition is None:
+            return False
+        return not any(src in g and dst in g for g in self._partition)
+
+    # --------------------------------------------------------------- regions
+
+    def register(self, owner: int, name: str, size_bytes: int,
+                 on_write: Callable[[Any, Any, int], None]) -> MemoryRegion:
+        """Register remote-writable memory on ``owner``; returns region.
+
+        Registering the same (owner, name) twice replaces the old region
+        and implicitly revokes its rkey, mirroring re-registration after
+        reconnection.
+        """
+        old = self._regions.get((owner, name))
+        if old is not None:
+            old.revoke()
+        region = MemoryRegion(owner, name, size_bytes, on_write)
+        self._regions[(owner, name)] = region
+        return region
+
+    def region(self, owner: int, name: str) -> MemoryRegion:
+        return self._regions[(owner, name)]
+
+    # ------------------------------------------------------------ primitives
+
+    def write(self, src: int, dst: int, region: MemoryRegion, rkey: int,
+              key: Any, value: Any, size_bytes: int, signaled: bool = False,
+              wr_id: Any = None, earliest_ns: int = 0,
+              lane: str = "control") -> None:
+        """Post a one-sided write from ``src`` into ``region`` on ``dst``.
+
+        ``earliest_ns``: doorbell time — typically the posting process's
+        ``cpu.busy_until``, so protocol CPU work delays the wire.
+        ``lane="bulk"`` routes over the dedicated bulk QP and QoS lane;
+        ordering is only guaranteed within a lane, so structures that
+        rely on FIFO (rings, SSTs) must keep all their writes on one
+        lane."""
+        if self._blocked(src, dst):
+            self.engine.trace.count("fabric.partition_drop")
+            return
+        qp = self.bulk_qp(src, dst) if lane == "bulk" else self.qp(src, dst)
+        qp.post_write(region, rkey, key, value, size_bytes,
+                      signaled=signaled, wr_id=wr_id, earliest_ns=earliest_ns)
+
+    def total_tx_bytes(self) -> int:
+        """Wire bytes sent by every NIC (used by bandwidth benches)."""
+        return sum(n.tx_bytes for n in self.nics.values())

@@ -1,0 +1,58 @@
+"""Write-based mailboxes: FaRM-style RPC inboxes over one-sided writes.
+
+Client↔cluster traffic in the paper flows over RDMA (§4.3: "accessed by
+a separate, external, client machine that can send requests via RDMA").
+A :class:`Mailbox` is the minimal primitive for that: a registered inbox
+the owner polls, into which any peer holding the rkey deposits records
+with one-sided writes.  It is also how hash-table replicas send replies
+back to clients.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Optional
+
+from repro.rdma.fabric import RdmaFabric
+
+
+class Mailbox:
+    """A pollable inbox on ``owner`` fed by one-sided writes."""
+
+    def __init__(self, fabric: RdmaFabric, owner: int, name: str,
+                 size_bytes: int = 1 << 20, signal_interval: int = 1000):
+        self.fabric = fabric
+        self.owner = owner
+        self.name = name
+        self.signal_interval = signal_interval
+        self._inbox: deque[tuple[int, Any]] = deque()
+        self._region = fabric.register(owner, f"mbox.{name}", size_bytes,
+                                       on_write=self._on_write)
+        self._rkey = self._region.grant()
+        self._since_signal: dict[int, int] = {}
+        self.sent = 0
+
+    def _on_write(self, key: Any, value: Any, _size: int) -> None:
+        self._inbox.append((key, value))
+
+    def send(self, src: int, payload: Any, size_bytes: int) -> None:
+        """Deposit ``payload`` into the inbox from node ``src``."""
+        self._since_signal[src] = self._since_signal.get(src, 0) + 1
+        signaled = self._since_signal[src] >= self.signal_interval
+        if signaled:
+            self._since_signal[src] = 0
+        self.fabric.write(src, self.owner, self._region, self._rkey, src,
+                          payload, size_bytes, signaled=signaled,
+                          wr_id=("mbox", self.name))
+        self.sent += 1
+
+    def drain(self, max_batch: Optional[int] = None) -> list[tuple[int, Any]]:
+        """Pop pending ``(src, payload)`` records in arrival order."""
+        out: list[tuple[int, Any]] = []
+        while self._inbox and (max_batch is None or len(out) < max_batch):
+            out.append(self._inbox.popleft())
+        return out
+
+    @property
+    def backlog(self) -> int:
+        return len(self._inbox)

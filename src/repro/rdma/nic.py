@@ -1,0 +1,101 @@
+"""Simulated network interface cards and completion queues.
+
+A :class:`Nic` owns the egress-link serialisation state shared by every
+queue pair on the node (writes to different peers still contend for the
+same 25 Gb/s port) and the completion queue that selective-signaling
+completions land on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.rdma.params import RdmaParams
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class Completion:
+    """One completion-queue entry.
+
+    ``covers`` is the number of WQEs this entry retires, i.e. 1 (the
+    signaled write itself) plus every unsignaled write posted before it
+    on the same QP — the batching that selective signaling buys (§2.1).
+    """
+
+    qp_peer: int
+    wr_id: Any
+    covers: int
+    posted_at: int
+    completed_at: int
+
+
+class CompletionQueue:
+    """FIFO of completions, drained by the owning process's poll loop."""
+
+    def __init__(self) -> None:
+        self._entries: list[Completion] = []
+        self.total_seen = 0
+
+    def push(self, entry: Completion) -> None:
+        self._entries.append(entry)
+        self.total_seen += 1
+
+    def drain(self) -> list[Completion]:
+        """Remove and return all pending entries."""
+        out = self._entries
+        self._entries = []
+        return out
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class Nic:
+    """One node's RDMA NIC.
+
+    The NIC serialises outgoing wire messages on its link: concurrent
+    writes to different peers queue behind each other at line rate.
+    Incoming one-sided writes are applied to registered memory with no
+    host-CPU involvement.
+    """
+
+    def __init__(self, engine: Engine, node_id: int, params: RdmaParams):
+        self.engine = engine
+        self.node_id = node_id
+        self.params = params
+        self.tx_free_at: int = 0        # control lane
+        self.tx_bulk_free_at: int = 0   # bulk lane (QoS-separated)
+        self.cq = CompletionQueue()
+        self.tx_bytes: int = 0
+        self.tx_msgs: int = 0
+        self.powered = True
+
+    def occupy_tx(self, payload_bytes: int, earliest_ns: int = 0,
+                  lane: str = "control") -> int:
+        """Reserve the egress link for one write; returns the time the
+        last bit leaves the NIC.
+
+        ``earliest_ns`` is the moment the posting CPU rings the doorbell
+        (it cannot post before its handler work is done).  ``lane``
+        selects the QoS class: ``"bulk"`` transfers queue separately so
+        control traffic never waits behind them."""
+        p = self.params
+        start = max(self.engine.now, earliest_ns) + p.nic_tx_ns
+        bulk = lane == "bulk"
+        start = max(start, self.tx_bulk_free_at if bulk else self.tx_free_at)
+        done = start + p.tx_serialization_ns(payload_bytes)
+        if bulk:
+            self.tx_bulk_free_at = done
+        else:
+            self.tx_free_at = done
+        self.tx_bytes += p.wire_bytes(payload_bytes)
+        self.tx_msgs += 1
+        return done
+
+    def power_off(self) -> None:
+        """Stop this NIC (models crash of the whole host: in-flight
+        messages already on the wire still arrive, nothing new leaves and
+        nothing new is accepted)."""
+        self.powered = False

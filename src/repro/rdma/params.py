@@ -1,0 +1,88 @@
+"""Hardware cost model for the simulated RDMA fabric.
+
+Defaults are calibrated to the paper's testbed (CloudLab ``xl170``:
+dual-port Mellanox ConnectX-4 25 GbE, one Mellanox 2410 switch hop,
+RoCE).  Anchors used for calibration:
+
+- 25 Gb/s link  →  3.125 bytes/ns serialisation rate;
+- one-sided write one-way latency ≈ 0.9–1.1 µs for small messages
+  (PCIe + NIC processing + one switch hop), so that Acuerdo's
+  client→leader→follower→SST-ack→commit path lands near the paper's
+  ~10 µs small-message commit latency on 3 nodes;
+- minimum wire message of 80 bytes (§4.1), which is what makes the
+  one-write vs two-write distinction between Acuerdo and Derecho a 2×
+  bandwidth effect for 10-byte payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.engine import us
+
+
+@dataclass
+class RdmaParams:
+    """Cost model knobs for NICs, links and queue pairs.
+
+    Attributes
+    ----------
+    link_bandwidth_bytes_per_ns:
+        Serialisation rate of each NIC's egress link (25 Gb/s default).
+    propagation_ns:
+        Wire + single-switch-hop propagation delay, one way.
+    nic_tx_ns / nic_rx_ns:
+        Per-verb processing at the sending / receiving NIC (WQE fetch,
+        PCIe DMA, packet build / validate + DMA into host memory).
+    doorbell_cpu_ns:
+        CPU cost charged to the *poster* of a verb (userspace doorbell
+        ring); this is the only CPU involvement on the send side.
+    header_bytes / min_wire_bytes:
+        Transport header overhead and the minimum size of any wire
+        message (80 B, per §4.1).
+    loss_prob:
+        Probability that a wire message needs a go-back-N retransmit;
+        the reliable connection recovers transparently but the message
+        (and, via FIFO, everything behind it) is delayed by
+        ``retransmit_timeout_ns``.
+    retransmit_timeout_ns:
+        NIC retransmission timeout.
+    completion_ns:
+        Extra latency from remote delivery to the sender-side completion
+        entry (ACK propagation + CQE write).
+    max_send_queue:
+        Maximum outstanding (un-retired) WQEs per QP.  Selective
+        signaling must request a completion often enough to keep below
+        this bound — Acuerdo signals every 1000 messages (§2.1).
+    """
+
+    link_bandwidth_bytes_per_ns: float = 3.125
+    propagation_ns: int = 900
+    nic_tx_ns: int = 200
+    nic_rx_ns: int = 150
+    doorbell_cpu_ns: int = 80
+    header_bytes: int = 36
+    min_wire_bytes: int = 80
+    loss_prob: float = 0.0
+    retransmit_timeout_ns: int = us(12)
+    # Transport ACK + CQE DMA + CQ-poll pickup.  Deliberately expensive:
+    # completions are the mechanism DARE leans on per message and §5
+    # blames for its latency, while selective signaling (Acuerdo) makes
+    # their cost vanish into one completion per thousand writes.
+    completion_ns: int = 1_500
+    max_send_queue: int = 4096
+    # NIC QoS: wire messages at or above this size are scheduled on the
+    # bulk lane, so small control traffic (SST rows, heartbeats, ring
+    # metadata) never queues behind megabytes of data — the service
+    # levels / per-QP fair queueing real RDMA NICs provide.  Control
+    # traffic is a few percent of link capacity, so modelling the lanes
+    # as independent introduces negligible bandwidth error.
+    qos_bulk_threshold_bytes: int = 16_384
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        """Bytes actually serialised on the link for a payload."""
+        return max(self.min_wire_bytes, payload_bytes + self.header_bytes)
+
+    def tx_serialization_ns(self, payload_bytes: int) -> int:
+        """Time the egress link is occupied by one write."""
+        return max(1, int(self.wire_bytes(payload_bytes) / self.link_bandwidth_bytes_per_ns))

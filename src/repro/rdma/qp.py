@@ -1,0 +1,115 @@
+"""Reliable-connection queue pairs: lossless, FIFO, one-sided writes.
+
+The reliable connection (RC) transport is what Acuerdo's design leans
+on (§2.1): messages are delivered exactly once and in order, losses are
+recovered by NIC-level go-back-N retransmission (modelled as added
+delay), and completions are only generated for writes that explicitly
+request them — a later completion retires all earlier unsignaled writes
+on the same QP (selective signaling).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from repro.rdma.memory import MemoryRegion
+from repro.rdma.nic import Completion, Nic
+from repro.rdma.params import RdmaParams
+from repro.sim.engine import Engine
+
+
+class SendQueueFullError(Exception):
+    """Too many un-retired WQEs: the poster failed to signal often enough."""
+
+
+class QueuePair:
+    """One direction of a reliable connection from ``src`` to ``dst``.
+
+    One-sided writes posted here land in a registered
+    :class:`~repro.rdma.memory.MemoryRegion` on the destination host
+    without waking its CPU.
+    """
+
+    def __init__(self, engine: Engine, src: Nic, dst: Nic, params: RdmaParams,
+                 lane: str = "control"):
+        self.engine = engine
+        self.src = src
+        self.dst = dst
+        self.params = params
+        self.lane = lane
+        self._loss_rng = engine.rng(f"qp.{src.node_id}->{dst.node_id}")
+        self._last_delivery_at = 0
+        self._outstanding = 0  # WQEs not yet retired by a completion
+        self._unsignaled_run = 0  # unsignaled writes since last signaled one
+        self.posted = 0
+        self.delivered = 0
+        self.retransmits = 0
+
+    # ----------------------------------------------------------------- write
+
+    def post_write(self, region: MemoryRegion, rkey: int, key: Any, value: Any,
+                   size_bytes: int, signaled: bool = False,
+                   wr_id: Any = None, earliest_ns: int = 0) -> None:
+        """Post a one-sided RDMA write of ``value`` to ``region[key]``.
+
+        The write occupies the sender's egress link, crosses the wire,
+        and is applied at the destination NIC with no remote-CPU work.
+        If ``signaled``, a completion covering this and all earlier
+        unsignaled writes is pushed to the sender's CQ once the transport
+        ACK returns.
+
+        Raises :class:`SendQueueFullError` when more than
+        ``params.max_send_queue`` WQEs are outstanding — the failure mode
+        selective signaling exists to avoid.
+        """
+        if not self.src.powered:
+            return  # crashed host: nothing leaves
+        p = self.params
+        if self._outstanding >= p.max_send_queue:
+            raise SendQueueFullError(
+                f"QP {self.src.node_id}->{self.dst.node_id}: "
+                f"{self._outstanding} outstanding WQEs (max {p.max_send_queue})")
+        self.posted += 1
+        self._outstanding += 1
+
+        tx_done = self.src.occupy_tx(size_bytes, earliest_ns, lane=self.lane)
+        deliver_at = tx_done + p.propagation_ns + p.nic_rx_ns
+        if p.loss_prob and self._loss_rng.random() < p.loss_prob:
+            # Go-back-N: this packet (and, through the FIFO floor below,
+            # everything behind it) arrives a retransmit-timeout late.
+            deliver_at += p.retransmit_timeout_ns
+            self.retransmits += 1
+        # RC FIFO guarantee: never deliver out of order.
+        deliver_at = max(deliver_at, self._last_delivery_at + 1)
+        self._last_delivery_at = deliver_at
+        self.engine.schedule_at(deliver_at, self._deliver, region, rkey, key, value, size_bytes)
+
+        if signaled:
+            covers = self._unsignaled_run + 1
+            self._unsignaled_run = 0
+            posted_at = self.engine.now
+            self.engine.schedule_at(deliver_at + p.completion_ns, self._complete,
+                                    wr_id, covers, posted_at)
+        else:
+            self._unsignaled_run += 1
+
+    # -------------------------------------------------------------- internal
+
+    def _deliver(self, region: MemoryRegion, rkey: int, key: Any, value: Any,
+                 size_bytes: int) -> None:
+        if not self.dst.powered:
+            return  # destination host crashed; write is lost with it
+        self.delivered += 1
+        region.remote_write(rkey, key, value, size_bytes)
+
+    def _complete(self, wr_id: Any, covers: int, posted_at: int) -> None:
+        self._outstanding -= covers
+        if self.src.powered:
+            self.src.cq.push(Completion(qp_peer=self.dst.node_id, wr_id=wr_id,
+                                        covers=covers, posted_at=posted_at,
+                                        completed_at=self.engine.now))
+
+    @property
+    def outstanding(self) -> int:
+        """WQEs posted but not yet retired by a completion."""
+        return self._outstanding

@@ -1,0 +1,105 @@
+"""Shared State Table (SST): replicated last-writer-wins state rows.
+
+Introduced by Derecho and leveraged throughout Acuerdo (§3.2, Fig. 2),
+the SST is a replicated array indexed by node id.  Each node may write
+only its own row and pushes updates to peers with one-sided writes that
+*overwrite* the previous value — the receiver only ever cares about the
+newest write, so updates always target the same remote address and a
+single read of the local copy yields a consistent-enough "snapshot".
+
+Because rows carry monotonically increasing values in every use in this
+codebase (last accepted header, last committed header, current vote),
+RDMA's FIFO delivery means a reader can never observe a row going
+backwards — the property that makes "acknowledge only the newest
+message" sound (§3.2).  Property tests assert this monotonicity.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional
+
+from repro.rdma.fabric import RdmaFabric
+
+
+class SharedStateTable:
+    """One named SST replicated across ``members``.
+
+    Each member holds a complete local copy (`dict row-owner -> value`).
+    ``write_local`` + ``push`` implement the paper's
+    ``SST[Self] = v; SST.push_mine()`` idiom.
+    """
+
+    def __init__(self, fabric: RdmaFabric, name: str, members: Iterable[int],
+                 row_size_bytes: int = 24, initial: Any = None,
+                 signal_interval: int = 1000):
+        self.fabric = fabric
+        self.name = name
+        self.members = list(members)
+        self.row_size_bytes = row_size_bytes
+        self.signal_interval = signal_interval
+        # copies[reader][row_owner] -> latest value known to `reader`
+        self.copies: dict[int, dict[int, Any]] = {
+            m: {o: initial for o in self.members} for m in self.members}
+        # Change counter per local copy: lets a poll loop skip predicate
+        # re-evaluation when nothing has landed since its last look.
+        self._versions: dict[int, int] = {m: 0 for m in self.members}
+        self._regions: dict[int, tuple[Any, int]] = {}
+        self._since_signal: dict[tuple[int, int], int] = {}
+        self.pushes = 0
+        for m in self.members:
+            region = self.fabric.register(
+                m, f"sst.{name}.{m}", size_bytes=row_size_bytes * len(self.members),
+                on_write=lambda row, value, _size, m=m: self._apply(m, row, value))
+            self._regions[m] = (region, region.grant())
+
+    def _apply(self, holder: int, row: int, value: Any) -> None:
+        self.copies[holder][row] = value
+        self._versions[holder] += 1
+
+    def version(self, holder: int) -> int:
+        """Monotone counter bumped whenever ``holder``'s copy changes."""
+        return self._versions[holder]
+
+    # ------------------------------------------------------------------ API
+
+    def read(self, reader: int, row: int) -> Any:
+        """Read ``row`` from ``reader``'s local copy (pure local memory)."""
+        return self.copies[reader][row]
+
+    def snapshot(self, reader: int) -> dict[int, Any]:
+        """Copy of the reader's entire local table (Fig. 7's ``votes_cpy``)."""
+        return dict(self.copies[reader])
+
+    def write_local(self, node: int, value: Any) -> None:
+        """Update ``node``'s own row in its local copy (no network)."""
+        self.copies[node][node] = value
+        self._versions[node] += 1
+
+    def push(self, node: int, targets: Optional[Iterable[int]] = None,
+             earliest_ns: int = 0) -> None:
+        """Mirror ``node``'s own row to ``targets`` (default: all peers)
+        with one one-sided write each (``push_mine`` / ``push_mine_to``).
+        """
+        value = self.copies[node][node]
+        dests = list(targets) if targets is not None else \
+            [m for m in self.members if m != node]
+        for t in dests:
+            if t == node:
+                continue
+            region, rkey = self._regions[t]
+            k = (node, t)
+            self._since_signal[k] = self._since_signal.get(k, 0) + 1
+            signaled = self._since_signal[k] >= self.signal_interval
+            if signaled:
+                self._since_signal[k] = 0
+            self.fabric.write(node, t, region, rkey, node, value,
+                              self.row_size_bytes, signaled=signaled,
+                              wr_id=("sst", self.name), earliest_ns=earliest_ns)
+            self.pushes += 1
+
+    def set_and_push(self, node: int, value: Any,
+                     targets: Optional[Iterable[int]] = None,
+                     earliest_ns: int = 0) -> None:
+        """Convenience: ``write_local`` then ``push``."""
+        self.write_local(node, value)
+        self.push(node, targets, earliest_ns=earliest_ns)

@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation kernel.
+
+Everything in this reproduction — the RDMA substrate, the TCP substrate,
+Acuerdo itself and every baseline protocol — runs inside the event engine
+defined here.  The kernel provides:
+
+- :class:`~repro.sim.engine.Engine`: a priority-queue event loop with an
+  integer nanosecond clock and named, seeded random streams so that every
+  run is exactly reproducible from ``(seed, configuration)``.
+- :class:`~repro.sim.process.Process` / :class:`~repro.sim.process.Cpu`:
+  a per-node serial CPU resource with a polling event loop, scheduler
+  jitter and deschedule events — the receiver-side-batching behaviour the
+  paper's design leans on falls out of this model.
+- :class:`~repro.sim.failure.FailureInjector`: crash-stop, transient
+  deschedule, slow-node and link-delay injection used by the fail-over
+  experiments (Table 1) and the robustness tests.
+- :class:`~repro.sim.trace.Tracer`: counters and optional event capture
+  used by the benchmark harness.
+
+Time is measured in integer nanoseconds; use the :func:`us`, :func:`ms`
+and :func:`sec` helpers to construct durations.
+"""
+
+from repro.sim.engine import Engine, Event, us, ms, sec, NS_PER_US, NS_PER_MS, NS_PER_SEC
+from repro.sim.process import Cpu, Process, ProcessConfig
+from repro.sim.failure import FailureInjector
+from repro.sim.trace import Tracer
+
+__all__ = [
+    "Engine",
+    "Event",
+    "Cpu",
+    "Process",
+    "ProcessConfig",
+    "FailureInjector",
+    "Tracer",
+    "us",
+    "ms",
+    "sec",
+    "NS_PER_US",
+    "NS_PER_MS",
+    "NS_PER_SEC",
+]

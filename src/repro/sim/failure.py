@@ -1,0 +1,88 @@
+"""Failure injection for robustness tests and fail-over experiments.
+
+Supports the failure classes the paper's evaluation exercises:
+
+- **crash-stop** (Table 1: the leader is killed / put to sleep) —
+  :meth:`FailureInjector.crash_at` and :meth:`sleep_at` (a long
+  deschedule after which the node resumes, like the paper's 5 s sleep);
+- **slow node** (§4.1/§4.2 "long-latency nodes") — :meth:`slow_node`;
+- **transient deschedules** (scheduler hiccups that receiver-side
+  batching absorbs) — :meth:`deschedule_at`;
+- **repeating leader kill** (Table 1's repeated election trigger) —
+  :meth:`kill_leader_every`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.sim.engine import Engine
+from repro.sim.process import Process
+
+
+class FailureInjector:
+    """Schedules failures against a set of processes."""
+
+    def __init__(self, engine: Engine, processes: Sequence[Process]):
+        self.engine = engine
+        self.processes = list(processes)
+
+    def _proc(self, node_id: int) -> Process:
+        for p in self.processes:
+            if p.node_id == node_id:
+                return p
+        raise KeyError(f"no process with node_id {node_id}")
+
+    def crash_at(self, time_ns: int, node_id: int) -> None:
+        """Crash-stop ``node_id`` at absolute ``time_ns``."""
+        self.engine.schedule_at(time_ns, self._proc(node_id).crash)
+
+    def deschedule_at(self, time_ns: int, node_id: int, duration_ns: int) -> None:
+        """Take ``node_id`` off-CPU for ``duration_ns`` starting at ``time_ns``."""
+        self.engine.schedule_at(time_ns, self._proc(node_id).deschedule, duration_ns)
+
+    def sleep_at(self, time_ns: int, node_id: int, duration_ns: int) -> None:
+        """Alias for a long deschedule — the paper's 'leader sleeps 5 s'."""
+        self.deschedule_at(time_ns, node_id, duration_ns)
+
+    def slow_node(self, node_id: int, speed_factor: float) -> None:
+        """Make ``node_id`` a long-latency node from now on: every CPU cost
+        and poll gap is multiplied by ``speed_factor``."""
+        p = self._proc(node_id)
+        p.config.speed_factor = speed_factor
+        p.cpu.speed_factor = speed_factor
+
+    def kill_leader_every(self, period_ns: int, leader_of: Callable[[], int | None],
+                          start_ns: int | None = None, on_kill: Callable[[int], None] | None = None,
+                          stop_after: int | None = None) -> None:
+        """Repeatedly crash whichever node ``leader_of()`` reports.
+
+        Used by the Table 1 harness: every ``period_ns`` the current
+        leader (if any) is crash-stopped, forcing an election among the
+        survivors.  ``on_kill(node_id)`` lets the harness timestamp the
+        kill.  Stops after ``stop_after`` kills when given.
+        """
+        state = {"kills": 0}
+
+        def tick() -> None:
+            if stop_after is not None and state["kills"] >= stop_after:
+                return
+            ldr = leader_of()
+            if ldr is not None:
+                try:
+                    proc = self._proc(ldr)
+                except KeyError:
+                    proc = None
+                if proc is not None and not proc.crashed:
+                    proc.crash()
+                    state["kills"] += 1
+                    if on_kill is not None:
+                        on_kill(ldr)
+            self.engine.schedule(period_ns, tick)
+
+        self.engine.schedule_at(start_ns if start_ns is not None else self.engine.now + period_ns,
+                                tick)
+
+    def alive(self) -> list[int]:
+        """Node ids of processes that have not crashed."""
+        return [p.node_id for p in self.processes if not p.crashed]

@@ -1,0 +1,212 @@
+"""Per-node CPU resource and polling process model.
+
+Why this model matters for the reproduction: the paper's receiver-side
+batching argument (§3, "Efficient Catch-Up") is that RDMA writes land in
+remote memory *without waking the remote CPU*, so a receiver that is
+descheduled for a while discovers a whole batch at its next poll and
+drains it faster than the network refills it.  We reproduce exactly that:
+
+- a :class:`Cpu` serialises all work on a node and charges nanosecond
+  costs (scaled by a slow-node factor);
+- a :class:`Process` runs a poll loop with jittered intervals and can be
+  descheduled for long stretches, during which incoming one-sided writes
+  still accumulate in its registered memory (see ``repro.rdma``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from repro.sim.engine import Engine, Event, us
+
+
+@dataclass
+class ProcessConfig:
+    """Tunable per-node scheduling behaviour.
+
+    Attributes
+    ----------
+    poll_interval_ns:
+        Mean gap between event-loop iterations when the loop has gone
+        idle.  A busy-spinning userspace loop re-polls within ~100-400 ns;
+        this is the granularity at which one-sided writes are discovered.
+    poll_jitter_ns:
+        Uniform jitter applied to each poll gap (models cache misses,
+        branch behaviour, unrelated work in the loop).
+    deschedule_mean_interval_ns:
+        Mean time between OS-induced descheduling events (0 disables
+        them).  Sampled exponentially.
+    deschedule_duration_ns:
+        How long a deschedule keeps the process off-CPU.
+    speed_factor:
+        Multiplier applied to every CPU cost and poll gap; > 1 models the
+        "long-latency node" of §4.2.
+    """
+
+    poll_interval_ns: int = 200
+    poll_jitter_ns: int = 100
+    deschedule_mean_interval_ns: int = 0
+    deschedule_duration_ns: int = us(50)
+    speed_factor: float = 1.0
+
+
+class Cpu:
+    """A serial execution resource owned by one simulated process.
+
+    ``submit(cost, fn)`` runs ``fn`` after charging ``cost`` nanoseconds,
+    serialised behind any work already queued on this CPU.  This is how
+    per-message protocol work (header computation, log insertion, syscall
+    costs for the TCP baselines) consumes simulated time.
+    """
+
+    __slots__ = ("engine", "name", "speed_factor", "busy_until", "halted")
+
+    def __init__(self, engine: Engine, name: str, speed_factor: float = 1.0):
+        self.engine = engine
+        self.name = name
+        self.speed_factor = speed_factor
+        self.busy_until: int = 0
+        self.halted = False
+
+    def submit(self, cost_ns: int, fn: Callable[..., Any], *args: Any) -> Optional[Event]:
+        """Charge ``cost_ns`` of CPU time, then run ``fn(*args)``.
+
+        Returns the scheduled event, or None if the CPU is halted
+        (crashed process).
+        """
+        if self.halted:
+            return None
+        start = max(self.engine.now, self.busy_until)
+        finish = start + int(cost_ns * self.speed_factor)
+        self.busy_until = finish
+        return self.engine.schedule_at(finish, self._run, fn, args)
+
+    def _run(self, fn: Callable[..., Any], args: tuple) -> None:
+        if not self.halted:
+            fn(*args)
+
+    def stall(self, duration_ns: int) -> None:
+        """Push all queued and future work back by ``duration_ns``
+        (an OS deschedule: the process loses the core for a while)."""
+        base = max(self.engine.now, self.busy_until)
+        self.busy_until = base + int(duration_ns)
+
+    def halt(self) -> None:
+        """Permanently stop executing submitted work (crash-stop)."""
+        self.halted = True
+
+
+class Process:
+    """Base class for every simulated node (protocol replicas, clients).
+
+    Subclasses override :meth:`on_poll`, which the engine invokes every
+    jittered ``poll_interval``.  Message arrival in this codebase never
+    invokes protocol logic directly — handlers always run from a poll, so
+    batching behaviour is realistic for one-sided RDMA (the substrate
+    deposits data silently; only polling observes it).  Two-sided/TCP
+    substrates schedule an immediate wake-up instead, modelling an
+    interrupt/epoll notification, but the work still runs on this CPU.
+    """
+
+    def __init__(self, engine: Engine, node_id: int, config: ProcessConfig | None = None,
+                 name: str | None = None):
+        self.engine = engine
+        self.node_id = node_id
+        self.config = config or ProcessConfig()
+        self.name = name or f"node{node_id}"
+        self.cpu = Cpu(engine, self.name, self.config.speed_factor)
+        self.crashed = False
+        self._started = False
+        self._poll_event: Optional[Event] = None
+        self._rng = engine.rng(f"proc.{self.name}")
+        self._next_deschedule: Optional[Event] = None
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self) -> None:
+        """Begin the poll loop (idempotent)."""
+        if self._started or self.crashed:
+            return
+        self._started = True
+        self.on_start()
+        self._schedule_poll()
+        self._schedule_deschedule()
+
+    def on_start(self) -> None:
+        """Hook run once when the process starts; override as needed."""
+
+    def crash(self) -> None:
+        """Crash-stop: no further polls, handlers or CPU work execute."""
+        if self.crashed:
+            return
+        self.crashed = True
+        self.cpu.halt()
+        if self._poll_event is not None:
+            self._poll_event.cancel()
+        if self._next_deschedule is not None:
+            self._next_deschedule.cancel()
+        self.engine.trace.count("process.crashes")
+
+    # --------------------------------------------------------------- poll loop
+
+    def _poll_gap(self) -> int:
+        cfg = self.config
+        gap = cfg.poll_interval_ns
+        if cfg.poll_jitter_ns:
+            gap += self._rng.randrange(cfg.poll_jitter_ns + 1)
+        return max(1, int(gap * cfg.speed_factor))
+
+    def _schedule_poll(self) -> None:
+        if self.crashed:
+            return
+        # The next poll cannot begin while the CPU is still busy with the
+        # previous batch; polling resumes once the loop comes back around.
+        at = max(self.engine.now + self._poll_gap(), self.cpu.busy_until + 1)
+        self._poll_event = self.engine.schedule_at(at, self._poll_tick)
+
+    def _poll_tick(self) -> None:
+        if self.crashed:
+            return
+        self.on_poll()
+        self._schedule_poll()
+
+    def on_poll(self) -> None:
+        """One iteration of the node's event loop; override in subclasses."""
+
+    def wake(self, delay_ns: int = 0) -> None:
+        """Request an extra poll ``delay_ns`` from now (used by two-sided
+        substrates to model notification-driven wakeups)."""
+        if self.crashed:
+            return
+        at = max(self.engine.now + delay_ns, self.cpu.busy_until) + 1
+        self.engine.schedule_at(at, self._poll_once)
+
+    def _poll_once(self) -> None:
+        if not self.crashed:
+            self.on_poll()
+
+    # ------------------------------------------------------------- deschedules
+
+    def _schedule_deschedule(self) -> None:
+        cfg = self.config
+        if cfg.deschedule_mean_interval_ns <= 0 or self.crashed:
+            return
+        gap = self._rng.expovariate(1.0 / cfg.deschedule_mean_interval_ns)
+        self._next_deschedule = self.engine.schedule(max(1, int(gap)), self._deschedule_tick)
+
+    def _deschedule_tick(self) -> None:
+        if self.crashed:
+            return
+        self.deschedule(self.config.deschedule_duration_ns)
+        self._schedule_deschedule()
+
+    def deschedule(self, duration_ns: int) -> None:
+        """Take the process off-CPU for ``duration_ns`` (messages keep
+        accumulating in its memory; the backlog drains at the next poll)."""
+        self.cpu.stall(duration_ns)
+        self.engine.trace.count("process.deschedules")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "crashed" if self.crashed else "up"
+        return f"<{type(self).__name__} {self.name} {state}>"

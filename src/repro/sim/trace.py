@@ -1,0 +1,89 @@
+"""Counters, samples and optional event capture for simulations.
+
+The tracer is intentionally cheap: counters are plain dict increments and
+samples append to lists, so leaving tracing enabled does not distort the
+relative timing of simulated protocols (simulated time is independent of
+host time anyway — this only affects host-side run duration).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+
+class Tracer:
+    """Accumulates named counters, numeric samples and optional events."""
+
+    def __init__(self, capture_events: bool = False):
+        self.counters: dict[str, int] = {}
+        self.samples: dict[str, list[float]] = {}
+        self.capture_events = capture_events
+        self.events: list[tuple[int, str, Any]] = []
+
+    # ------------------------------------------------------------- counters
+
+    def count(self, name: str, inc: int = 1) -> None:
+        """Increment counter ``name`` by ``inc``."""
+        self.counters[name] = self.counters.get(name, 0) + inc
+
+    def get(self, name: str) -> int:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self.counters.get(name, 0)
+
+    # -------------------------------------------------------------- samples
+
+    def sample(self, name: str, value: float) -> None:
+        """Append ``value`` to the sample series ``name``."""
+        self.samples.setdefault(name, []).append(value)
+
+    def series(self, name: str) -> list[float]:
+        """Return the (possibly empty) sample series ``name``."""
+        return self.samples.get(name, [])
+
+    def mean(self, name: str) -> float:
+        """Mean of the sample series (NaN when empty)."""
+        s = self.samples.get(name)
+        return sum(s) / len(s) if s else math.nan
+
+    def percentile(self, name: str, p: float) -> float:
+        """Nearest-rank percentile of series ``name`` (p in [0, 100])."""
+        s = self.samples.get(name)
+        if not s:
+            return math.nan
+        ordered = sorted(s)
+        k = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
+        return ordered[k]
+
+    # --------------------------------------------------------------- events
+
+    def event(self, time: int, kind: str, detail: Any = None) -> None:
+        """Record a trace event when capture is enabled."""
+        if self.capture_events:
+            self.events.append((time, kind, detail))
+
+    def fingerprint(self) -> tuple:
+        """A hashable digest of the trace, used by determinism tests."""
+        counter_items = tuple(sorted(self.counters.items()))
+        sample_digest = tuple(
+            sorted((k, len(v), round(sum(v), 6)) for k, v in self.samples.items())
+        )
+        return (counter_items, sample_digest, len(self.events))
+
+    def merge(self, other: "Tracer") -> None:
+        """Fold another tracer's counters and samples into this one."""
+        for k, v in other.counters.items():
+            self.count(k, v)
+        for k, vs in other.samples.items():
+            self.samples.setdefault(k, []).extend(vs)
+
+    def reset(self) -> None:
+        """Clear all counters, samples and captured events."""
+        self.counters.clear()
+        self.samples.clear()
+        self.events.clear()
+
+    def summary(self, names: Iterable[str] | None = None) -> dict[str, float]:
+        """Dict of ``series -> mean`` for quick inspection."""
+        keys = list(names) if names is not None else list(self.samples)
+        return {k: self.mean(k) for k in keys}

@@ -1,0 +1,22 @@
+"""Workload generators and clients for the paper's experiments.
+
+- :mod:`repro.workloads.closedloop` — the Fig. 8 load model: a client
+  keeps a fixed window of outstanding messages and measures latency and
+  throughput at the knee;
+- :mod:`repro.workloads.openloop` — the Table 1 load model: messages at
+  a fixed rate regardless of acknowledgments;
+- :mod:`repro.workloads.ycsb` — the Fig. 9 load model: YCSB-load's
+  Zipfian(0.99)-skewed write stream over a keyspace.
+"""
+
+from repro.workloads.closedloop import ClosedLoopClient, ClosedLoopResult
+from repro.workloads.openloop import OpenLoopClient
+from repro.workloads.ycsb import ZipfianGenerator, YcsbLoadWorkload
+
+__all__ = [
+    "ClosedLoopClient",
+    "ClosedLoopResult",
+    "OpenLoopClient",
+    "ZipfianGenerator",
+    "YcsbLoadWorkload",
+]

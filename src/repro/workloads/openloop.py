@@ -1,0 +1,63 @@
+"""Open-loop client — the Table 1 load model.
+
+"Our experiment ... sets the leader to propose 10-byte messages in an
+open loop" (§4.2): messages are issued at a fixed rate regardless of
+acknowledgments, keeping the system busy across leader failures so that
+election downtime is visible as a commit gap.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.protocols.base import BroadcastSystem
+from repro.sim.engine import Engine
+
+
+class OpenLoopClient:
+    """Issues one message every ``period_ns`` until stopped."""
+
+    def __init__(self, system: BroadcastSystem, period_ns: int, message_size: int,
+                 payload_fn: Optional[Callable[[int], Any]] = None):
+        self.system = system
+        self.engine: Engine = system.engine
+        self.period_ns = period_ns
+        self.message_size = message_size
+        self.payload_fn = payload_fn or (lambda i: ("ol", i))
+        self.sent = 0
+        self.committed = 0
+        self.commit_times: list[int] = []
+        self.dropped = 0
+        self._running = False
+
+    def start(self) -> None:
+        """Begin issuing messages at the fixed rate."""
+        self._running = True
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop issuing (in-flight messages may still commit)."""
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        i = self.sent
+        self.sent += 1
+        ok = self.system.submit(self.payload_fn(i), self.message_size,
+                                lambda _x: self._on_commit())
+        if not ok:
+            # Open loop: no retries — the message is simply lost to the
+            # election window (what makes downtime measurable).
+            self.dropped += 1
+        self.engine.schedule(self.period_ns, self._tick)
+
+    def _on_commit(self) -> None:
+        self.committed += 1
+        self.commit_times.append(self.engine.now)
+
+    def longest_commit_gap(self) -> int:
+        """Largest gap between consecutive commits — a downtime proxy."""
+        if len(self.commit_times) < 2:
+            return 0
+        return max(b - a for a, b in zip(self.commit_times, self.commit_times[1:]))

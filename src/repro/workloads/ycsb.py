@@ -1,0 +1,124 @@
+"""YCSB-load workload: Zipfian-skewed writes (Fig. 9).
+
+"We specifically use the YCSB-load test, which continually applies
+writes in a .99 skewed zipfian distribution" (§4.3).  The generator
+reproduces YCSB's key model: record keys ``user<N>`` drawn from a
+Zipfian(θ=0.99) distribution over the keyspace, values of a fixed size,
+and a write-only op mix (create/set/delete in proportions that keep the
+table populated).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterator
+
+from repro.apps.hashtable import KvOp
+
+
+class ZipfianGenerator:
+    """Zipfian-distributed integers in ``[0, n)`` — the Gray et al.
+    rejection-free method YCSB itself uses.
+
+    theta = 0.99 matches YCSB's default skew: a small set of hot keys
+    receives most of the traffic.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, rng=None):
+        if n <= 0:
+            raise ValueError("n must be positive")
+        if not (0 < theta < 1):
+            raise ValueError("theta must be in (0, 1)")
+        self.n = n
+        self.theta = theta
+        self._rng = rng
+        self.zetan = self._zeta(n, theta)
+        self.zeta2 = self._zeta(2, theta)
+        self.alpha = 1.0 / (1.0 - theta)
+        self.eta = (1 - (2.0 / n) ** (1 - theta)) / (1 - self.zeta2 / self.zetan)
+
+    @staticmethod
+    def _zeta(n: int, theta: float) -> float:
+        return sum(1.0 / (i ** theta) for i in range(1, n + 1))
+
+    def next(self) -> int:
+        """Draw the next Zipfian-distributed rank in ``[0, n)``."""
+        u = self._rng.random()
+        uz = u * self.zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        return int(self.n * (self.eta * u - self.eta + 1) ** self.alpha)
+
+
+#: YCSB core-workload read fractions (update = 1 - read).
+YCSB_MIXES = {
+    "load": 0.0,   # 100% writes — the paper's Fig. 9 workload
+    "a": 0.5,      # update heavy
+    "b": 0.95,     # read mostly
+    "c": 1.0,      # read only
+}
+
+
+class YcsbMixedWorkload:
+    """YCSB core workloads A/B/C: Zipfian key choice, read/update mix.
+
+    Reads return ``("get", key)`` markers; the caller serves them from
+    any replica's local copy (§4.3: gets bypass the broadcast).  Updates
+    are :class:`KvOp` instances for the broadcast path.
+    """
+
+    def __init__(self, engine, mix: str = "b", record_count: int = 10_000,
+                 value_size: int = 100, theta: float = 0.99):
+        if mix not in YCSB_MIXES:
+            raise ValueError(f"unknown mix {mix!r}; pick from {sorted(YCSB_MIXES)}")
+        self.mix = mix
+        self.read_fraction = YCSB_MIXES[mix]
+        self.record_count = record_count
+        self.value_size = value_size
+        self._rng = engine.rng(f"ycsb.{mix}")
+        self.zipf = ZipfianGenerator(record_count, theta, self._rng)
+
+    def key(self, i: int) -> str:
+        """Spread the zipfian rank over the keyspace (YCSB's key hash)."""
+        return f"user{(i * 2654435761) % self.record_count}"
+
+    def next_op(self):
+        """Either a ``("get", key)`` tuple or a write :class:`KvOp`."""
+        k = self.key(self.zipf.next())
+        if self._rng.random() < self.read_fraction:
+            return ("get", k)
+        return KvOp("set", k, "x" * self.value_size)
+
+
+class YcsbLoadWorkload:
+    """Generates the YCSB-load op stream for the replicated hash table."""
+
+    def __init__(self, engine, record_count: int = 10_000, value_size: int = 100,
+                 theta: float = 0.99, delete_fraction: float = 0.05):
+        self.record_count = record_count
+        self.value_size = value_size
+        self.delete_fraction = delete_fraction
+        self._rng = engine.rng("ycsb")
+        self.zipf = ZipfianGenerator(record_count, theta, self._rng)
+        self._issued = 0
+
+    def key(self, i: int) -> str:
+        """Spread the zipfian rank over the keyspace (YCSB's key hash)."""
+        return f"user{(i * 2654435761) % self.record_count}"
+
+    def next_op(self) -> KvOp:
+        """One write op: mostly set/create, a small delete fraction."""
+        self._issued += 1
+        k = self.key(self.zipf.next())
+        if self._rng.random() < self.delete_fraction:
+            return KvOp("delete", k)
+        value = "x" * self.value_size
+        kind = "create" if self._rng.random() < 0.5 else "set"
+        return KvOp(kind, k, value)
+
+    def ops(self, count: int) -> Iterator[KvOp]:
+        """Yield ``count`` ops from the stream."""
+        for _ in range(count):
+            yield self.next_op()

@@ -1,0 +1,95 @@
+"""Tests for the replicated hash table (§4.3)."""
+
+import pytest
+
+from repro.apps.hashtable import HashTableStateMachine, KvOp, ReplicatedHashTable
+from repro.core import AcuerdoCluster
+from repro.sim import Engine, ms, us
+
+
+def _table(n=3, seed=1):
+    e = Engine(seed=seed)
+    system = AcuerdoCluster(e, n)
+    system.preseed_leader(0)
+    system.start()
+    return e, system, ReplicatedHashTable(system)
+
+
+def test_state_machine_applies_ops():
+    sm = HashTableStateMachine()
+    sm.apply(KvOp("create", "k1", "v1"))
+    sm.apply(KvOp("set", "k1", "v2"))
+    assert sm.table == {"k1": "v2"}
+    sm.apply(KvOp("delete", "k1"))
+    assert sm.table == {}
+    assert sm.ops_applied == 3
+
+
+def test_state_machine_rejects_unknown_kind():
+    sm = HashTableStateMachine()
+    with pytest.raises(ValueError):
+        sm.apply(KvOp("increment", "k"))
+
+
+def test_digest_tracks_history_not_just_state():
+    a, b = HashTableStateMachine(), HashTableStateMachine()
+    a.apply(KvOp("set", "k", "v"))
+    b.apply(KvOp("create", "k", "v"))
+    assert a.table == b.table
+    assert a.digest() != b.digest()  # different op streams
+
+
+def test_updates_replicate_to_all_nodes():
+    e, system, table = _table()
+    acked = []
+    table.create("alpha", "1", on_commit=lambda x: acked.append("alpha"))
+    table.set("beta", "2", on_commit=lambda x: acked.append("beta"))
+    e.run(until=ms(1))
+    assert acked == ["alpha", "beta"]
+    for nid in range(3):
+        assert table.get(nid, "alpha") == "1"
+        assert table.get(nid, "beta") == "2"
+    table.assert_replicas_consistent()
+
+
+def test_gets_bypass_broadcast():
+    e, system, table = _table()
+    table.set("k", "v")
+    e.run(until=ms(1))
+    sent_before = system.engine.trace.get("acuerdo.broadcast")
+    for _ in range(100):
+        table.get(1, "k")
+    assert system.engine.trace.get("acuerdo.broadcast") == sent_before
+
+
+def test_delete_replicates():
+    e, system, table = _table()
+    table.create("k", "v")
+    table.delete("k")
+    e.run(until=ms(1))
+    for nid in range(3):
+        assert table.get(nid, "k") is None
+
+
+def test_replicas_consistent_after_failover():
+    e, system, table = _table(n=5, seed=2)
+    for i in range(20):
+        table.set(f"k{i % 5}", str(i))
+    e.run(until=ms(2))
+    system.crash(system.leader_id())
+    e.run(until=ms(5))
+    for i in range(20, 30):
+        table.set(f"k{i % 5}", str(i))
+    e.run(until=ms(8))
+    table.assert_replicas_consistent()
+
+
+def test_op_wire_size():
+    assert KvOp("set", "key", "value").wire_size() == 8 + 3 + 5
+    assert KvOp("delete", "key").wire_size() == 8 + 3
+
+
+def test_foreign_payloads_ignored():
+    sm = HashTableStateMachine()
+    assert sm.apply(("not", "a", "kvop")) is None
+    assert sm.ops_applied == 0

@@ -1,0 +1,141 @@
+"""Unit tests for the pure election rules (Fig. 7 lines 96-127)."""
+
+from repro.core import Epoch, MsgHdr, Vote, VOTE_ZERO, HDR_ZERO
+from repro.core.election import (
+    VoteDecision,
+    decide_vote,
+    max_vote,
+    new_bigger_epoch,
+    won_election,
+)
+
+
+E = Epoch
+H = MsgHdr
+
+
+def test_max_vote_picks_largest():
+    votes = {0: Vote(E(1, 0), HDR_ZERO), 1: Vote(E(2, 1), HDR_ZERO), 2: None}
+    assert max_vote(votes) == Vote(E(2, 1), HDR_ZERO)
+
+
+def test_max_vote_empty_is_zero():
+    assert max_vote({}) == VOTE_ZERO
+    assert max_vote({0: None}) == VOTE_ZERO
+
+
+def test_new_bigger_epoch_strictly_increases():
+    e = new_bigger_epoch(E(3, 1), E(5, 2), self_id=1)
+    assert e > E(3, 1) and e > E(5, 2)
+    assert e.leader == 1
+
+
+def test_new_bigger_epoch_reuses_round_when_id_wins_tie():
+    # Seen (5, 2), self is 7: (5, 7) > (5, 2) already.
+    e = new_bigger_epoch(E(0, 0), E(5, 2), self_id=7)
+    assert e == E(5, 7)
+
+
+def test_new_bigger_epoch_bumps_round_when_id_loses_tie():
+    e = new_bigger_epoch(E(0, 0), E(5, 7), self_id=2)
+    assert e == E(6, 2)
+
+
+def test_vote_self_when_more_up_to_date():
+    my_acc = H(E(0, 9), 5)
+    votes = {1: Vote(E(1, 1), H(E(0, 9), 3))}
+    a = decide_vote(0, VOTE_ZERO, E(0, 9), my_acc, votes, timed_out=False)
+    assert a.decision is VoteDecision.VOTE_SELF
+    assert a.new_vote.acpt == my_acc
+    assert a.new_vote.e_new.leader == 0
+    assert a.new_vote.e_new > E(1, 1)
+
+
+def test_join_max_when_candidate_subsumes_us():
+    my_acc = H(E(0, 9), 3)
+    mx = Vote(E(1, 1), H(E(0, 9), 5))
+    a = decide_vote(0, VOTE_ZERO, E(0, 9), my_acc, {1: mx}, timed_out=False)
+    assert a.decision is VoteDecision.JOIN_MAX
+    # Joining adopts the candidate's accepted header, not our own.
+    assert a.new_vote == mx
+    assert a.new_e_new == E(1, 1)
+
+
+def test_hold_when_already_at_max():
+    mx = Vote(E(1, 1), H(E(0, 9), 5))
+    a = decide_vote(0, mx, E(1, 1), H(E(0, 9), 5), {0: mx, 1: mx}, timed_out=False)
+    assert a.decision is VoteDecision.HOLD
+
+
+def test_timeout_forces_self_candidacy():
+    mx = Vote(E(1, 1), H(E(0, 9), 5))
+    a = decide_vote(0, mx, E(1, 1), H(E(0, 9), 5), {1: mx}, timed_out=True)
+    assert a.decision is VoteDecision.VOTE_SELF
+    assert a.new_vote.e_new > E(1, 1)
+
+
+def test_votes_never_decrease():
+    """Repeatedly applying the rules with arbitrary snapshots only ever
+    raises a node's vote (monotone fixed point)."""
+    own = VOTE_ZERO
+    e_new = E(0, 0)
+    acc = H(E(0, 1), 2)
+    snapshots = [
+        {1: Vote(E(1, 1), H(E(0, 1), 9))},
+        {1: Vote(E(1, 1), H(E(0, 1), 1))},   # smaller acpt: we self-vote
+        {2: Vote(E(9, 2), H(E(0, 1), 9))},
+        {},
+    ]
+    for snap in snapshots:
+        a = decide_vote(0, own, e_new, acc, snap, timed_out=False)
+        if a.decision is not VoteDecision.HOLD:
+            assert a.new_vote >= own
+            own = a.new_vote
+            e_new = a.new_e_new
+
+
+def test_won_election_requires_quorum_and_self_leadership():
+    v = Vote(E(2, 0), H(E(1, 1), 4))
+    votes = {0: v, 1: v, 2: Vote(E(1, 1), HDR_ZERO)}
+    assert won_election(0, votes, v, quorum=2)
+    assert not won_election(0, votes, v, quorum=3)
+    # Same table, but the vote names someone else leader:
+    other = Vote(E(2, 1), H(E(1, 1), 4))
+    assert not won_election(0, {0: other, 1: other}, other, quorum=2)
+
+
+def test_convergence_to_most_up_to_date_candidate():
+    """Simulate the fixed-point loop synchronously: all nodes exchange
+    votes until stable; the winner must dominate every voter's accepted
+    header (the up-to-date property §3.3)."""
+    accepted = {0: H(E(0, 1), 3), 1: H(E(0, 1), 5), 2: H(E(0, 1), 4)}
+    votes = {i: VOTE_ZERO for i in range(3)}
+    e_new = {i: E(0, 1) for i in range(3)}
+
+    for _ in range(20):  # bounded rounds: must converge long before this
+        changed = False
+        for i in range(3):
+            a = decide_vote(i, votes[i], e_new[i], accepted[i], dict(votes),
+                            timed_out=(votes == {j: VOTE_ZERO for j in range(3)}))
+            if a.decision is not VoteDecision.HOLD and a.new_vote != votes[i]:
+                votes[i] = a.new_vote
+                e_new[i] = a.new_e_new
+                changed = True
+        if not changed:
+            break
+    assert not changed, "election failed to converge"
+    winner_votes = [i for i in range(3) if won_election(i, votes, votes[i], 2)]
+    assert winner_votes == [1], "most up-to-date node must win"
+    # Up-to-date property: winner's accepted dominates all agreeing voters.
+    win_vote = votes[1]
+    for i, v in votes.items():
+        if v == win_vote:
+            assert accepted[1] >= accepted[i]
+
+
+def test_zero_vote_cannot_win():
+    """The never-voted row (epoch (0,0)) syntactically names node 0 as
+    leader; the win predicate must reject it or a silent table would
+    'elect' node 0 at bootstrap (found by the election model checker)."""
+    table = {i: VOTE_ZERO for i in range(3)}
+    assert not won_election(0, table, VOTE_ZERO, quorum=2)

@@ -1,0 +1,106 @@
+"""Unit tests for the ordered message log."""
+
+from repro.core import Epoch, Message, MessageLog, MsgHdr
+
+
+def _msg(round_, leader, cnt, payload="p"):
+    return Message(MsgHdr(Epoch(round_, leader), cnt), payload, 10)
+
+
+def test_insert_and_lookup():
+    log = MessageLog()
+    m = _msg(0, 1, 1)
+    log.insert(m)
+    assert log.get(m.hdr) is m
+    assert m.hdr in log
+    assert len(log) == 1
+    assert log.get(_msg(0, 1, 2).hdr) is None
+
+
+def test_insert_overwrite_same_header():
+    log = MessageLog()
+    log.insert(_msg(0, 1, 1, "old"))
+    log.insert(_msg(0, 1, 1, "new"))
+    assert len(log) == 1
+    assert log.get(MsgHdr(Epoch(0, 1), 1)).payload == "new"
+
+
+def test_headers_sorted_regardless_of_insert_order():
+    log = MessageLog()
+    for cnt in (3, 1, 2):
+        log.insert(_msg(0, 1, cnt))
+    assert [h.cnt for h in log.headers()] == [1, 2, 3]
+
+
+def test_cross_epoch_ordering():
+    log = MessageLog()
+    log.insert(_msg(1, 2, 1))
+    log.insert(_msg(0, 1, 5))
+    hs = log.headers()
+    assert hs[0].e == Epoch(0, 1)
+    assert hs[1].e == Epoch(1, 2)
+
+
+def test_truncate_from_removes_tail():
+    log = MessageLog()
+    for cnt in range(1, 6):
+        log.insert(_msg(0, 1, cnt))
+    removed = log.truncate_from(MsgHdr(Epoch(0, 1), 3))
+    assert [m.hdr.cnt for m in removed] == [3, 4, 5]
+    assert [h.cnt for h in log.headers()] == [1, 2]
+
+
+def test_truncate_from_no_match_is_noop():
+    log = MessageLog()
+    log.insert(_msg(0, 1, 1))
+    assert log.truncate_from(MsgHdr(Epoch(5, 5), 0)) == []
+    assert len(log) == 1
+
+
+def test_range_default_is_half_open_lo_closed_hi():
+    log = MessageLog()
+    for cnt in range(1, 6):
+        log.insert(_msg(0, 1, cnt))
+    got = [m.hdr.cnt for m in log.range(MsgHdr(Epoch(0, 1), 2), MsgHdr(Epoch(0, 1), 4))]
+    assert got == [3, 4]
+
+
+def test_range_inclusive_bounds():
+    log = MessageLog()
+    for cnt in range(1, 6):
+        log.insert(_msg(0, 1, cnt))
+    lo, hi = MsgHdr(Epoch(0, 1), 2), MsgHdr(Epoch(0, 1), 4)
+    assert [m.hdr.cnt for m in log.range(lo, hi, inclusive_lo=True)] == [2, 3, 4]
+    assert [m.hdr.cnt for m in log.range(lo, hi, inclusive_hi=False)] == [3]
+
+
+def test_range_spans_epochs():
+    log = MessageLog()
+    log.insert(_msg(0, 1, 8))
+    log.insert(_msg(0, 1, 9))
+    log.insert(_msg(1, 2, 1))
+    got = list(log.range(MsgHdr(Epoch(0, 1), 8), MsgHdr(Epoch(1, 2), 1)))
+    assert [m.hdr for m in got] == [MsgHdr(Epoch(0, 1), 9), MsgHdr(Epoch(1, 2), 1)]
+
+
+def test_trim_below_garbage_collects():
+    log = MessageLog()
+    for cnt in range(1, 11):
+        log.insert(_msg(0, 1, cnt))
+    n = log.trim_below(MsgHdr(Epoch(0, 1), 8))
+    assert n == 7
+    assert [h.cnt for h in log.headers()] == [8, 9, 10]
+
+
+def test_last_hdr():
+    log = MessageLog()
+    assert log.last_hdr() is None
+    log.insert(_msg(0, 1, 2))
+    log.insert(_msg(0, 1, 1))
+    assert log.last_hdr() == MsgHdr(Epoch(0, 1), 2)
+
+
+def test_extend():
+    log = MessageLog()
+    log.extend(_msg(0, 1, c) for c in (2, 1))
+    assert len(log) == 2

@@ -1,0 +1,156 @@
+"""Integration tests: Acuerdo elections and leader transition (§3.3-3.4)."""
+
+from repro.core import AcuerdoCluster, AcuerdoConfig
+from repro.core.node import Role
+from repro.sim import Engine, ms, us
+
+
+def _cold(n=3, seed=1):
+    e = Engine(seed=seed)
+    c = AcuerdoCluster(e, n)
+    c.start()
+    return e, c
+
+
+def test_cold_start_elects_exactly_one_leader():
+    e, c = _cold(5)
+    e.run(until=ms(1))
+    roles = [n.role for n in c.nodes.values()]
+    assert roles.count(Role.LEADER) == 1
+    assert roles.count(Role.FOLLOWER) == 4
+    epochs = {n.E_cur for n in c.nodes.values()}
+    assert len(epochs) == 1  # everyone joined the same epoch
+
+
+def test_cold_start_all_cluster_sizes():
+    for n in (3, 5, 7, 9):
+        e, c = _cold(n, seed=n)
+        e.run(until=ms(2))
+        assert c.leader_id() is not None, f"no leader for n={n}"
+
+
+def test_failover_elects_new_leader_and_resumes():
+    e, c = _cold(3)
+    e.run(until=ms(1))
+    old = c.leader_id()
+    for i in range(10):
+        c.submit(("pre", i), 10)
+    e.run(until=ms(2))
+    c.crash(old)
+    e.run(until=ms(4))
+    new = c.leader_id()
+    assert new is not None and new != old
+    for i in range(10):
+        c.submit(("post", i), 10)
+    e.run(until=ms(6))
+    for nid in range(3):
+        if nid == old:
+            continue
+        seq = c.deliveries.sequences[nid]
+        assert [p for p in seq if p[0] == "post"] == [("post", i) for i in range(10)]
+    c.deliveries.check_total_order()
+
+
+def test_committed_messages_survive_failover():
+    """Everything committed before the crash is preserved into the new
+    epoch (the safety half of atomic broadcast)."""
+    e, c = _cold(5, seed=3)
+    e.run(until=ms(1))
+    old = c.leader_id()
+    acked = []
+    for i in range(20):
+        c.submit(("m", i), 10, lambda hdr, i=i: acked.append(i))
+    e.run(until=ms(2))
+    assert len(acked) == 20
+    c.crash(old)
+    e.run(until=ms(5))
+    for nid in range(5):
+        if nid == old:
+            continue
+        got = [p for p in c.deliveries.sequences.get(nid, [])]
+        assert got[:20] == [("m", i) for i in range(20)]
+
+
+def test_new_leader_is_most_up_to_date_of_quorum():
+    """Up-to-date property: the winner's accepted header dominates the
+    last-accepted header of every node that voted for it."""
+    e, c = _cold(5, seed=9)
+    e.run(until=ms(1))
+    old = c.leader_id()
+    for i in range(15):
+        c.submit(("m", i), 10)
+    e.run(until=ms(2))
+    accepted_before = {i: n.Accepted for i, n in c.nodes.items() if i != old}
+    c.crash(old)
+    e.run(until=ms(5))
+    new = c.leader_id()
+    assert new is not None
+    win_vote = c.vote_sst.read(new, new)
+    voters = [i for i in accepted_before
+              if c.vote_sst.read(new, i) == win_vote]
+    assert len(voters) >= 3  # quorum of 5
+    for v in voters:
+        assert accepted_before[new] >= accepted_before[v]
+
+
+def test_sequential_failovers():
+    e, c = _cold(5, seed=5)
+    e.run(until=ms(1))
+    killed = []
+    for _ in range(2):
+        ldr = c.leader_id()
+        assert ldr is not None
+        for i in range(5):
+            c.submit(("k", len(killed), i), 10)
+        e.run(until=e.now + ms(1))
+        c.crash(ldr)
+        killed.append(ldr)
+        e.run(until=e.now + ms(3))
+    assert c.leader_id() is not None
+    assert c.leader_id() not in killed
+    c.deliveries.check_total_order()
+
+
+def test_deposed_leader_rejoins_as_follower():
+    """A leader that is descheduled (not crashed) long enough to be
+    deposed must rejoin the new epoch as a follower via the diff."""
+    e, c = _cold(3, seed=2)
+    e.run(until=ms(1))
+    old = c.leader_id()
+    c.nodes[old].deschedule(ms(2))  # long pause, not a crash
+    e.run(until=ms(8))
+    new = c.leader_id()
+    assert new != old
+    assert c.nodes[old].role is Role.FOLLOWER
+    assert c.nodes[old].E_cur == c.nodes[new].E_cur
+    # And it still delivers new traffic.
+    n_before = c.deliveries.delivered_count(old)
+    for i in range(5):
+        c.submit(("late", i), 10)
+    e.run(until=e.now + ms(2))
+    assert c.deliveries.delivered_count(old) >= n_before + 5
+    c.deliveries.check_total_order()
+
+
+def test_election_duration_recorded():
+    e, c = _cold(3, seed=4)
+    e.run(until=ms(1))
+    c.crash(c.leader_id())
+    e.run(until=ms(4))
+    durations = e.trace.series("acuerdo.election_duration_ns")
+    assert durations, "fail-over election must record a duration"
+    assert all(0 < d < ms(3) for d in durations)
+
+
+def test_no_quorum_no_leader():
+    """With a majority crashed, no new leader can be elected (safety
+    over liveness)."""
+    e, c = _cold(3, seed=6)
+    e.run(until=ms(1))
+    ldr = c.leader_id()
+    others = [i for i in range(3) if i != ldr]
+    c.crash(ldr)
+    c.crash(others[0])
+    e.run(until=ms(6))
+    assert c.leader_id() is None
+    assert c.nodes[others[1]].role is Role.ELECTING

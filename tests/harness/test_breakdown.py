@@ -1,0 +1,73 @@
+"""Tests for the latency-anatomy instrument."""
+
+from repro.core import AcuerdoCluster
+from repro.harness.breakdown import LatencyAnatomy, Stages
+from repro.sim import Engine, ms, us
+
+
+def _instrumented(seed=1):
+    e = Engine(seed=seed)
+    c = AcuerdoCluster(e, 3)
+    c.preseed_leader(0)
+    c.start()
+    return e, c, LatencyAnatomy(c)
+
+
+def test_all_stages_recorded_in_order():
+    e, c, an = _instrumented()
+    an.probe(0, ("p", 0))
+    e.run(until=ms(1))
+    st = an.stages[0]
+    assert st.broadcast is not None
+    assert st.first_accept is not None
+    assert st.committed is not None
+    assert st.acked is not None
+    assert (st.submitted <= st.broadcast <= st.first_accept
+            <= st.committed <= st.acked)
+
+
+def test_stage_costs_match_cost_model():
+    """Anatomy must agree with the substrate: first acceptance happens
+    about one one-sided write plus one poll after broadcast."""
+    e, c, an = _instrumented()
+    for i in range(20):
+        an.probe(i, ("p", i))
+        e.run(until=e.now + us(8))
+    e.run(until=ms(2))
+    gaps = [st.first_accept - st.broadcast for st in an.stages.values()
+            if st.first_accept and st.broadcast]
+    mean_gap = sum(gaps) / len(gaps)
+    p = c.fabric.params
+    one_way = p.nic_tx_ns + p.tx_serialization_ns(10) + p.propagation_ns + p.nic_rx_ns
+    assert one_way * 0.8 < mean_gap < one_way + us(2)  # + poll discovery
+
+
+def test_instrumentation_adds_no_simulated_time():
+    lat_plain = []
+    e1 = Engine(seed=3)
+    c1 = AcuerdoCluster(e1, 3)
+    c1.preseed_leader(0)
+    c1.start()
+    t0 = e1.now
+    c1.submit(("p", 0), 10, lambda h: lat_plain.append(e1.now))
+    e1.run(until=ms(1))
+
+    e2, c2, an = _instrumented(seed=3)
+    an.probe(0, ("p", 0))
+    e2.run(until=ms(1))
+    assert an.stages[0].acked == lat_plain[0]
+
+
+def test_render_produces_table():
+    e, c, an = _instrumented()
+    an.probe(0, ("p", 0))
+    e.run(until=ms(1))
+    out = an.render()
+    assert "latency anatomy" in out
+    assert "committed" in out
+
+
+def test_stages_rows_skips_missing():
+    st = Stages(submitted=100)
+    st.committed = 1100
+    assert st.rows() == [("committed", 1.0)]

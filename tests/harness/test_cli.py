@@ -1,0 +1,51 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_shootout_runs_and_prints_table(capsys):
+    rc = main(["shootout", "--systems", "acuerdo", "--messages", "80"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Shootout" in out and "acuerdo" in out
+
+
+def test_shootout_extensions_flag(capsys):
+    rc = main(["shootout", "--systems", "mu", "--messages", "60"])
+    assert rc == 0
+    assert "mu" in capsys.readouterr().out
+
+
+def test_fig8_single_system(capsys):
+    rc = main(["fig8", "--panel", "a", "--systems", "acuerdo",
+               "--messages", "80"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Figure 8(a)" in out and "Summary" in out
+
+
+def test_elections_command(capsys):
+    rc = main(["elections", "--nodes", "3", "--kills", "1"])
+    assert rc == 0
+    assert "Election durations" in capsys.readouterr().out
+
+
+def test_table1_command(capsys):
+    rc = main(["table1", "--sizes", "3", "--kills", "1"])
+    assert rc == 0
+    assert "Table 1" in capsys.readouterr().out
+
+
+def test_seed_changes_timing_not_structure(capsys):
+    main(["--seed", "5", "shootout", "--systems", "acuerdo", "--messages", "60"])
+    a = capsys.readouterr().out
+    main(["--seed", "6", "shootout", "--systems", "acuerdo", "--messages", "60"])
+    b = capsys.readouterr().out
+    assert a.splitlines()[0] == b.splitlines()[0]

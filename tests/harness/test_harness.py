@@ -1,0 +1,75 @@
+"""Tests for the experiment harness (factory, fig8/fig9/table1 drivers)."""
+
+import math
+
+import pytest
+
+from repro.harness import SYSTEMS, build_system, settle, fig8_point, fig8_sweep
+from repro.harness.fig8 import knee, floor
+from repro.harness.fig9 import fig9_point
+from repro.harness.render import render_table, render_series
+from repro.harness.table1 import table1_elections
+from repro.sim import Engine
+
+
+def test_factory_builds_every_system():
+    for name in SYSTEMS:
+        e = Engine(seed=1)
+        s = build_system(name, e, 3)
+        assert s.name in (name, name.replace("derecho-", "derecho-"))
+        assert s.n == 3
+
+
+def test_factory_rejects_unknown():
+    with pytest.raises(ValueError):
+        build_system("nope", Engine(seed=1), 3)
+
+
+def test_settle_produces_leader_everywhere():
+    for name in SYSTEMS:
+        e = Engine(seed=2)
+        s = build_system(name, e, 3)
+        settle(s)
+        assert s.leader_id() is not None, name
+
+
+def test_fig8_point_measures():
+    p = fig8_point("acuerdo", 3, 10, window=2, min_completions=100)
+    assert p.completed >= 100
+    assert p.throughput_mb_s > 0
+    assert 1 < p.mean_latency_us < 100
+
+
+def test_fig8_sweep_stops_at_saturation():
+    pts = fig8_sweep("acuerdo", 3, 10, min_completions=120, max_window=256)
+    assert 2 <= len(pts) <= 9
+    assert pts[0].window == 1
+    k = knee(pts)
+    f = floor(pts)
+    assert k.throughput_mb_s >= f.throughput_mb_s
+    assert f.window == 1
+
+
+def test_fig9_point_counts_ops():
+    p = fig9_point("acuerdo", 3, window=32, min_completions=150,
+                   max_sim_ms=200, record_count=500)
+    assert p.ops_per_sec > 10_000  # RDMA KV should be deep into 10^4+
+
+
+def test_table1_returns_durations():
+    durations = table1_elections(3, kills=1, kill_period_ms=2.0)
+    assert len(durations) >= 1
+    assert all(0 < d < 50 for d in durations)  # milliseconds
+
+
+def test_render_table_formats():
+    out = render_table("T", ["a", "bb"], [[1, 2.5], [10_000, float("nan")]])
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "a" in lines[2] and "bb" in lines[2]
+    assert "10,000" in out and "nan" in out
+
+
+def test_render_series_formats():
+    out = render_series("S", {"sys": [(1, 2.0), (2, 4.0)]}, "w", "lat")
+    assert "sys" in out and "w -> lat" in out

@@ -1,0 +1,48 @@
+"""Tests for the ASCII plot renderer."""
+
+from repro.harness.plot import ascii_plot
+
+
+def _lines(out):
+    return out.splitlines()
+
+
+def test_plot_places_markers_for_each_series():
+    out = ascii_plot({"fast": [(1, 10), (2, 10)], "slow": [(1, 1000), (2, 1000)]},
+                     width=30, height=8, log_y=True)
+    assert "a=fast" in out and "b=slow" in out
+    body = "\n".join(_lines(out))
+    assert "a" in body and "b" in body
+
+
+def test_log_y_separates_bands():
+    out = ascii_plot({"lo": [(1, 10)], "hi": [(1, 1000)]},
+                     width=20, height=10, log_y=True)
+    rows = [i for i, line in enumerate(_lines(out)) if "|" in line]
+    lo_row = next(i for i, l in enumerate(_lines(out)) if "a" in l.split("|")[-1:] or
+                  ("|" in l and "a" in l.split("|")[1]))
+    hi_row = next(i for i, l in enumerate(_lines(out)) if "|" in l and "b" in l.split("|")[1])
+    assert hi_row < lo_row  # higher value plots nearer the top
+
+
+def test_collisions_marked_with_star():
+    out = ascii_plot({"x": [(1, 5)], "y": [(1, 5)]}, width=10, height=5,
+                     log_y=False)
+    assert "*" in out
+
+
+def test_empty_series_handled():
+    assert "(no data)" in ascii_plot({}, title="T")
+
+
+def test_nonpositive_values_dropped_on_log_axes():
+    out = ascii_plot({"s": [(1, 0), (1, -5), (2, 100)]}, log_y=True,
+                     width=10, height=5)
+    assert "a" in out
+
+
+def test_axis_ticks_present():
+    out = ascii_plot({"s": [(1, 10), (100, 1000)]}, log_x=True, log_y=True,
+                     width=20, height=6, x_label="tput", y_label="lat")
+    assert "tput" in out and "lat" in out
+    assert "1e" in out  # log ticks

@@ -1,0 +1,130 @@
+"""Unit tests for the TCP substrate."""
+
+from repro.net import TcpNetwork, TcpParams
+from repro.rdma import RdmaParams
+from repro.sim import Engine, Process, ProcessConfig, us
+
+
+class Echo(Process):
+    """Process that records what it drains from its endpoint."""
+
+    def __init__(self, engine, node_id, net):
+        super().__init__(engine, node_id,
+                         ProcessConfig(poll_interval_ns=200, poll_jitter_ns=0))
+        self.ep = net.attach(self)
+        self.got = []
+
+    def on_poll(self):
+        for src, payload in self.ep.drain():
+            self.got.append((src, payload, self.engine.now))
+
+
+def _pair(params=None, seed=1):
+    e = Engine(seed=seed)
+    net = TcpNetwork(e, params)
+    a, b = Echo(e, 0, net), Echo(e, 1, net)
+    a.start()
+    b.start()
+    return e, net, a, b
+
+
+def test_message_delivered_to_inbox():
+    e, net, a, b = _pair()
+    net.send(0, 1, "hello", 100)
+    e.run(until=us(100))
+    assert [(s, p) for s, p, _ in b.got] == [(0, "hello")]
+
+
+def test_fifo_per_channel():
+    e, net, a, b = _pair()
+    for i in range(20):
+        net.send(0, 1, i, 64)
+    e.run(until=us(500))
+    assert [p for _, p, _ in b.got] == list(range(20))
+
+
+def test_tcp_latency_an_order_of_magnitude_above_rdma():
+    p = TcpParams()
+    e, net, a, b = _pair(p)
+    net.send(0, 1, "x", 10)
+    e.run(until=us(200))
+    tcp_latency = b.got[0][2]
+    r = RdmaParams()
+    rdma_latency = r.nic_tx_ns + r.tx_serialization_ns(10) + r.propagation_ns + r.nic_rx_ns
+    assert tcp_latency > 8 * rdma_latency
+
+
+def test_send_charges_sender_cpu():
+    e, net, a, b = _pair()
+    before = a.cpu.busy_until
+    net.send(0, 1, "x", 10)
+    assert a.cpu.busy_until >= before + net.params.kernel_send_cpu_ns
+
+
+def test_recv_charges_receiver_cpu():
+    e, net, a, b = _pair()
+    for i in range(10):
+        net.send(0, 1, i, 10)
+    e.run(until=us(500))
+    # Receiving 10 messages cost at least 10 recv syscalls of CPU.
+    assert b.cpu.busy_until >= 10 * net.params.kernel_recv_cpu_ns
+
+
+def test_crashed_receiver_drops_messages():
+    e, net, a, b = _pair()
+    b.crash()
+    net.send(0, 1, "x", 10)
+    e.run(until=us(100))
+    assert b.got == []
+    assert len(b.ep.inbox) == 0
+
+
+def test_crashed_sender_sends_nothing():
+    e, net, a, b = _pair()
+    a.crash()
+    net.send(0, 1, "x", 10)
+    e.run(until=us(100))
+    assert b.got == []
+
+
+def test_broadcast_skips_self():
+    e = Engine(seed=1)
+    net = TcpNetwork(e)
+    procs = [Echo(e, i, net) for i in range(3)]
+    for p in procs:
+        p.start()
+    net.broadcast(0, [0, 1, 2], "all", 10)
+    e.run(until=us(200))
+    assert procs[0].got == []
+    assert [p for _, p, _ in procs[1].got] == ["all"]
+    assert [p for _, p, _ in procs[2].got] == ["all"]
+
+
+def test_loss_delays_but_preserves_order():
+    p = TcpParams(loss_prob=0.5)
+    e, net, a, b = _pair(p, seed=4)
+    for i in range(50):
+        net.send(0, 1, i, 10)
+    e.run(until=us(5000))
+    assert [x for _, x, _ in b.got] == list(range(50))
+
+
+def test_wakeup_makes_idle_receiver_responsive():
+    # Receiver polls every 50us, but the epoll wakeup delivers sooner.
+    e = Engine(seed=1)
+    net = TcpNetwork(e)
+
+    class Lazy(Echo):
+        def __init__(self, engine, node_id, net):
+            Process.__init__(self, engine, node_id,
+                             ProcessConfig(poll_interval_ns=us(50), poll_jitter_ns=0))
+            self.ep = net.attach(self)
+            self.got = []
+
+    a = Lazy(e, 0, net)
+    b = Lazy(e, 1, net)
+    a.start()
+    b.start()
+    net.send(0, 1, "ping", 10)
+    e.run(until=us(40))
+    assert b.got, "wakeup should beat the 50us poll period"

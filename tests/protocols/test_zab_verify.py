@@ -1,0 +1,73 @@
+"""The §5 contrast: ZooKeeper's post-election verify round.
+
+"Currently ZooKeeper has to perform an additional message exchange (and
+wait) after the leader is elected to check if its state is up to date.
+If this check fails, the election process is restarted."  Acuerdo's
+election makes this round unnecessary by construction.
+"""
+
+from repro.protocols.zab import ZabCluster, ZabNode
+from repro.sim import Engine, ms, us
+
+
+def _settled(n=3, seed=1):
+    e = Engine(seed=seed)
+    c = ZabCluster(e, n)
+    c.start()
+    e.run(until=ms(5))
+    assert c.leader_id() is not None
+    return e, c
+
+
+def test_verify_round_happens_after_every_election():
+    e, c = _settled()
+    # Winning FLE is not enough: a verify request went to every peer.
+    assert e.trace.get("zab.elected") >= 1
+    assert e.trace.get("zab.sync_sent") >= 1
+
+
+def test_stale_winner_fails_verify_and_restarts():
+    """Force a stale node into LEADING (as a mis-converged FLE would):
+    the verify round must detect a more up-to-date peer and restart the
+    election instead of serving."""
+    e, c = _settled(seed=2)
+    ldr = c.leader_id()
+    # Commit some state so the real leader is ahead.
+    for i in range(10):
+        c.submit(("m", i), 10)
+    e.run(until=ms(20))
+    stale = next(i for i in range(3) if i != ldr)
+    nd = c.nodes[stale]
+    nd.log = nd.log[: len(nd.log) // 2]  # truncate: now genuinely stale
+    nd.delivered_upto = min(nd.delivered_upto, len(nd.log))
+    nd.state = ZabNode.LOOKING
+    nd._start_leading()
+    e.run(until=e.now + ms(10))
+    assert e.trace.get("zab.verify_failed") >= 1
+    # The cluster converges back to a leader that is NOT the stale node
+    # with its truncated log still truncated.
+    e.run(until=e.now + ms(40))
+    final = c.leader_id()
+    assert final is not None
+    assert c.nodes[final].last_zxid() >= max(
+        n.committed_zxid for n in c.nodes.values() if not n.crashed)
+
+
+def test_acuerdo_needs_no_verify_round():
+    """Counterpart assertion: an Acuerdo winner starts sending with no
+    post-election exchange — the first thing out of a new leader is the
+    diff itself."""
+    from repro.core import AcuerdoCluster
+
+    e = Engine(seed=3)
+    c = AcuerdoCluster(e, 3)
+    c.start()
+    e.run(until=ms(1))
+    c.crash(c.leader_id())
+    e.run(until=ms(4))
+    new = c.leader_id()
+    assert new is not None
+    # Election durations (detect -> ready-to-send) are microseconds:
+    # no verify round, no state transfer to the leader.
+    durations = e.trace.series("acuerdo.election_duration_ns")
+    assert durations and max(durations) < us(500)

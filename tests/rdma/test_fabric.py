@@ -1,0 +1,55 @@
+"""Unit tests for cluster-wide RDMA wiring."""
+
+import pytest
+
+from repro.rdma import RdmaFabric, RdmaParams
+from repro.sim import Engine, us
+
+
+def test_all_to_all_qps_created():
+    e = Engine(seed=1)
+    fab = RdmaFabric(e, [0, 1, 2])
+    for a in range(3):
+        for b in range(3):
+            if a != b:
+                qp = fab.qp(a, b)
+                assert qp.src.node_id == a and qp.dst.node_id == b
+
+
+def test_add_node_later_wires_both_directions():
+    e = Engine(seed=1)
+    fab = RdmaFabric(e, [0, 1])
+    fab.add_node(7)
+    assert fab.qp(0, 7).dst.node_id == 7
+    assert fab.qp(7, 1).src.node_id == 7
+    # Re-adding is a no-op returning the same NIC.
+    assert fab.add_node(7) is fab.nic(7)
+
+
+def test_total_tx_bytes_aggregates_all_nics():
+    e = Engine(seed=1)
+    fab = RdmaFabric(e, [0, 1])
+    reg = fab.register(1, "r", 64, on_write=lambda *a: None)
+    fab.write(0, 1, reg, reg.grant(), 0, None, 10)
+    e.run()
+    assert fab.total_tx_bytes() == fab.params.wire_bytes(10)
+
+
+def test_crash_node_blocks_future_traffic_both_ways():
+    e = Engine(seed=1)
+    fab = RdmaFabric(e, [0, 1, 2])
+    seen = []
+    reg = fab.register(2, "r", 64, on_write=lambda k, v, s: seen.append(k))
+    fab.crash_node(0)
+    fab.write(0, 2, reg, reg.grant(), "from-crashed", None, 10)
+    fab.write(1, 2, reg, reg.grant(), "from-live", None, 10)
+    e.run()
+    assert seen == ["from-live"]
+
+
+def test_params_shared_across_fabric():
+    p = RdmaParams(propagation_ns=123)
+    e = Engine(seed=1)
+    fab = RdmaFabric(e, [0, 1], p)
+    assert fab.qp(0, 1).params.propagation_ns == 123
+    assert fab.nic(0).params is p

@@ -1,0 +1,55 @@
+"""Unit tests for memory regions, rkeys and access enforcement."""
+
+import pytest
+
+from repro.rdma import AccessError, MemoryRegion, RdmaFabric
+from repro.sim import Engine
+
+
+def test_write_requires_matching_rkey():
+    store = {}
+    r = MemoryRegion(owner=1, name="t", size_bytes=64,
+                     on_write=lambda k, v, s: store.__setitem__(k, v))
+    r.remote_write(r.grant(), "a", 1, 8)
+    assert store == {"a": 1}
+    with pytest.raises(AccessError):
+        r.remote_write(r.grant() + 1, "b", 2, 8)
+
+
+def test_revoked_region_rejects_writes():
+    r = MemoryRegion(1, "t", 64, on_write=lambda k, v, s: None)
+    key = r.grant()
+    r.revoke()
+    with pytest.raises(AccessError):
+        r.remote_write(key, "a", 1, 8)
+
+
+def test_rkeys_are_unique():
+    a = MemoryRegion(0, "a", 8, on_write=lambda *args: None)
+    b = MemoryRegion(0, "b", 8, on_write=lambda *args: None)
+    assert a.rkey != b.rkey
+
+
+def test_region_counts_traffic():
+    r = MemoryRegion(0, "t", 64, on_write=lambda *args: None)
+    r.remote_write(r.grant(), 0, None, 48)
+    r.remote_write(r.grant(), 1, None, 16)
+    assert r.writes_received == 2
+    assert r.bytes_received == 64
+
+
+def test_reregistration_revokes_old_rkey():
+    e = Engine(seed=1)
+    fab = RdmaFabric(e, [0, 1])
+    r1 = fab.register(1, "buf", 64, on_write=lambda *args: None)
+    old_key = r1.grant()
+    fab.register(1, "buf", 64, on_write=lambda *args: None)
+    with pytest.raises(AccessError):
+        r1.remote_write(old_key, 0, None, 8)
+
+
+def test_fabric_region_lookup():
+    e = Engine(seed=1)
+    fab = RdmaFabric(e, [0, 1])
+    r = fab.register(0, "x", 8, on_write=lambda *args: None)
+    assert fab.region(0, "x") is r

@@ -1,0 +1,148 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, us, ms, sec
+
+
+def test_time_helpers_convert_to_ns():
+    assert us(1) == 1_000
+    assert ms(1) == 1_000_000
+    assert sec(1) == 1_000_000_000
+    assert us(2.5) == 2_500
+
+
+def test_events_run_in_time_order():
+    e = Engine()
+    order = []
+    e.schedule(30, order.append, "c")
+    e.schedule(10, order.append, "a")
+    e.schedule(20, order.append, "b")
+    e.run()
+    assert order == ["a", "b", "c"]
+    assert e.now == 30
+
+
+def test_ties_break_by_schedule_order():
+    e = Engine()
+    order = []
+    for tag in ("first", "second", "third"):
+        e.schedule(5, order.append, tag)
+    e.run()
+    assert order == ["first", "second", "third"]
+
+
+def test_schedule_at_absolute_time():
+    e = Engine()
+    seen = []
+    e.schedule_at(100, lambda: seen.append(e.now))
+    e.run()
+    assert seen == [100]
+
+
+def test_cannot_schedule_in_past():
+    e = Engine()
+    e.schedule(10, lambda: None)
+    e.run()
+    with pytest.raises(ValueError):
+        e.schedule_at(5, lambda: None)
+    with pytest.raises(ValueError):
+        e.schedule(-1, lambda: None)
+
+
+def test_cancelled_events_do_not_fire():
+    e = Engine()
+    seen = []
+    ev = e.schedule(10, seen.append, "x")
+    e.schedule(5, ev.cancel)
+    e.run()
+    assert seen == []
+
+
+def test_run_until_advances_clock_even_without_events():
+    e = Engine()
+    e.schedule(10, lambda: None)
+    e.run(until=500)
+    assert e.now == 500
+
+
+def test_run_until_does_not_execute_later_events():
+    e = Engine()
+    seen = []
+    e.schedule(10, seen.append, "early")
+    e.schedule(100, seen.append, "late")
+    e.run(until=50)
+    assert seen == ["early"]
+    e.run()
+    assert seen == ["early", "late"]
+
+
+def test_events_scheduled_during_run_execute():
+    e = Engine()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 3:
+            e.schedule(10, chain, n + 1)
+
+    e.schedule(0, chain, 0)
+    e.run()
+    assert seen == [0, 1, 2, 3]
+
+
+def test_max_events_bound():
+    e = Engine()
+    seen = []
+    for i in range(10):
+        e.schedule(i + 1, seen.append, i)
+    executed = e.run(max_events=4)
+    assert executed == 4
+    assert seen == [0, 1, 2, 3]
+
+
+def test_stop_halts_run():
+    e = Engine()
+    seen = []
+    e.schedule(1, seen.append, "a")
+    e.schedule(2, e.stop)
+    e.schedule(3, seen.append, "b")
+    e.run()
+    assert seen == ["a"]
+    e.run()
+    assert seen == ["a", "b"]
+
+
+def test_step_executes_one_event():
+    e = Engine()
+    seen = []
+    e.schedule(1, seen.append, 1)
+    e.schedule(2, seen.append, 2)
+    assert e.step()
+    assert seen == [1]
+    assert e.step()
+    assert not e.step()
+
+
+def test_rng_streams_are_deterministic_and_independent():
+    a1 = Engine(seed=5).rng("alpha").random()
+    a2 = Engine(seed=5).rng("alpha").random()
+    b = Engine(seed=5).rng("beta").random()
+    c = Engine(seed=6).rng("alpha").random()
+    assert a1 == a2
+    assert a1 != b
+    assert a1 != c
+
+
+def test_rng_stream_is_cached_per_engine():
+    e = Engine(seed=1)
+    assert e.rng("s") is e.rng("s")
+
+
+def test_idle_reflects_live_events():
+    e = Engine()
+    assert e.idle()
+    ev = e.schedule(10, lambda: None)
+    assert not e.idle()
+    ev.cancel()
+    assert e.idle()

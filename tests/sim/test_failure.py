@@ -1,0 +1,85 @@
+"""Unit tests for failure injection."""
+
+import pytest
+
+from repro.sim import Engine, FailureInjector, Process, ProcessConfig, us
+
+
+class Ticker(Process):
+    def __init__(self, engine, node_id):
+        super().__init__(engine, node_id,
+                         ProcessConfig(poll_interval_ns=100, poll_jitter_ns=0))
+        self.ticks = 0
+
+    def on_poll(self):
+        self.ticks += 1
+
+
+def _cluster(e, n=3):
+    procs = [Ticker(e, i) for i in range(n)]
+    for p in procs:
+        p.start()
+    return procs
+
+
+def test_crash_at_stops_node():
+    e = Engine(seed=1)
+    procs = _cluster(e)
+    inj = FailureInjector(e, procs)
+    inj.crash_at(us(5), 1)
+    e.run(until=us(10))
+    assert procs[1].crashed
+    assert not procs[0].crashed
+    assert inj.alive() == [0, 2]
+
+
+def test_unknown_node_raises():
+    e = Engine(seed=1)
+    inj = FailureInjector(e, _cluster(e))
+    with pytest.raises(KeyError):
+        inj.crash_at(10, 99)
+
+
+def test_deschedule_at_pauses_node():
+    e = Engine(seed=1)
+    procs = _cluster(e)
+    inj = FailureInjector(e, procs)
+    inj.deschedule_at(us(1), 0, us(50))
+    e.run(until=us(60))
+    # Node 0 lost ~50us of polling relative to node 2.
+    assert procs[2].ticks - procs[0].ticks > 300
+
+
+def test_slow_node_scales_speed():
+    e = Engine(seed=1)
+    procs = _cluster(e)
+    inj = FailureInjector(e, procs)
+    inj.slow_node(1, 10.0)
+    e.run(until=us(20))
+    assert procs[0].ticks > 5 * procs[1].ticks
+
+
+def test_kill_leader_every_crashes_reported_leader():
+    e = Engine(seed=1)
+    procs = _cluster(e, 5)
+    inj = FailureInjector(e, procs)
+    killed = []
+    order = iter([0, 1, 2])
+
+    def leader_of():
+        alive = inj.alive()
+        return alive[0] if alive else None
+
+    inj.kill_leader_every(us(10), leader_of, on_kill=killed.append, stop_after=3)
+    e.run(until=us(100))
+    assert killed == [0, 1, 2]
+    assert inj.alive() == [3, 4]
+
+
+def test_kill_leader_handles_no_leader():
+    e = Engine(seed=1)
+    procs = _cluster(e, 2)
+    inj = FailureInjector(e, procs)
+    inj.kill_leader_every(us(10), lambda: None, stop_after=1)
+    e.run(until=us(50))
+    assert inj.alive() == [0, 1]

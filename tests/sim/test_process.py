@@ -1,0 +1,135 @@
+"""Unit tests for the CPU resource and polling process model."""
+
+from repro.sim import Engine, Process, ProcessConfig, us
+from repro.sim.process import Cpu
+
+
+class Recorder(Process):
+    """Process that records its poll times."""
+
+    def __init__(self, engine, node_id=0, config=None):
+        super().__init__(engine, node_id, config)
+        self.polls = []
+
+    def on_poll(self):
+        self.polls.append(self.engine.now)
+
+
+def test_cpu_charges_serial_time():
+    e = Engine()
+    cpu = Cpu(e, "test")
+    done = []
+    cpu.submit(100, done.append, "a")
+    cpu.submit(50, done.append, "b")
+    e.run()
+    assert done == ["a", "b"]
+    assert cpu.busy_until == 150  # serialized, not parallel
+
+
+def test_cpu_speed_factor_scales_cost():
+    e = Engine()
+    cpu = Cpu(e, "slow", speed_factor=3.0)
+    cpu.submit(100, lambda: None)
+    e.run()
+    assert e.now == 300
+
+
+def test_cpu_stall_pushes_work_back():
+    e = Engine()
+    cpu = Cpu(e, "test")
+    done = []
+    cpu.stall(1000)
+    cpu.submit(10, done.append, "late")
+    e.run()
+    assert e.now == 1010
+
+
+def test_halted_cpu_drops_work():
+    e = Engine()
+    cpu = Cpu(e, "test")
+    done = []
+    cpu.submit(10, done.append, "x")
+    cpu.halt()
+    e.run()
+    assert done == []
+
+
+def test_process_polls_repeatedly():
+    e = Engine(seed=1)
+    p = Recorder(e, config=ProcessConfig(poll_interval_ns=100, poll_jitter_ns=0))
+    p.start()
+    e.run(until=us(1))
+    assert len(p.polls) >= 8
+    gaps = [b - a for a, b in zip(p.polls, p.polls[1:])]
+    assert all(g >= 100 for g in gaps)
+
+
+def test_poll_jitter_varies_gaps():
+    e = Engine(seed=3)
+    p = Recorder(e, config=ProcessConfig(poll_interval_ns=100, poll_jitter_ns=100))
+    p.start()
+    e.run(until=us(5))
+    gaps = {b - a for a, b in zip(p.polls, p.polls[1:])}
+    assert len(gaps) > 1  # jitter actually applied
+
+
+def test_crash_stops_polling():
+    e = Engine(seed=1)
+    p = Recorder(e)
+    p.start()
+    e.schedule(us(1), p.crash)
+    e.run(until=us(5))
+    assert p.crashed
+    assert all(t <= us(1) for t in p.polls)
+
+
+def test_start_is_idempotent():
+    e = Engine(seed=1)
+    p = Recorder(e, config=ProcessConfig(poll_interval_ns=100, poll_jitter_ns=0))
+    p.start()
+    p.start()
+    e.run(until=500)
+    # One poll loop, not two: strictly increasing poll times.
+    assert p.polls == sorted(set(p.polls))
+
+
+def test_deschedule_delays_polls():
+    e = Engine(seed=1)
+    p = Recorder(e, config=ProcessConfig(poll_interval_ns=100, poll_jitter_ns=0))
+    p.start()
+    e.schedule(200, p.deschedule, us(10))
+    e.run(until=us(15))
+    # No polls land inside the descheduled window.
+    window = [t for t in p.polls if 300 < t <= us(10)]
+    assert window == []
+
+
+def test_automatic_deschedules_fire():
+    e = Engine(seed=2)
+    cfg = ProcessConfig(poll_interval_ns=100, poll_jitter_ns=0,
+                        deschedule_mean_interval_ns=us(5),
+                        deschedule_duration_ns=us(2))
+    p = Recorder(e, config=cfg)
+    p.start()
+    e.run(until=us(100))
+    assert e.trace.get("process.deschedules") > 0
+
+
+def test_wake_triggers_extra_poll():
+    e = Engine(seed=1)
+    p = Recorder(e, config=ProcessConfig(poll_interval_ns=us(50), poll_jitter_ns=0))
+    p.start()
+    e.schedule(100, p.wake, 0)
+    e.run(until=us(10))
+    assert any(t < us(1) for t in p.polls)
+
+
+def test_slow_process_polls_slower():
+    e = Engine(seed=1)
+    fast = Recorder(e, node_id=0, config=ProcessConfig(poll_interval_ns=100, poll_jitter_ns=0))
+    slow = Recorder(e, node_id=1, config=ProcessConfig(poll_interval_ns=100, poll_jitter_ns=0,
+                                                       speed_factor=10.0))
+    fast.start()
+    slow.start()
+    e.run(until=us(10))
+    assert len(fast.polls) > 5 * len(slow.polls)

@@ -1,0 +1,77 @@
+"""Unit tests for the tracer."""
+
+import math
+
+from repro.sim import Tracer
+
+
+def test_counters_accumulate():
+    t = Tracer()
+    t.count("x")
+    t.count("x", 4)
+    assert t.get("x") == 5
+    assert t.get("missing") == 0
+
+
+def test_samples_and_stats():
+    t = Tracer()
+    for v in [1.0, 2.0, 3.0, 4.0]:
+        t.sample("lat", v)
+    assert t.mean("lat") == 2.5
+    assert t.percentile("lat", 50) == 2.0
+    assert t.percentile("lat", 100) == 4.0
+    assert t.series("lat") == [1.0, 2.0, 3.0, 4.0]
+
+
+def test_empty_stats_are_nan():
+    t = Tracer()
+    assert math.isnan(t.mean("none"))
+    assert math.isnan(t.percentile("none", 50))
+
+
+def test_events_only_captured_when_enabled():
+    off = Tracer(capture_events=False)
+    off.event(1, "a")
+    assert off.events == []
+    on = Tracer(capture_events=True)
+    on.event(1, "a", {"k": 1})
+    assert on.events == [(1, "a", {"k": 1})]
+
+
+def test_fingerprint_stable_and_sensitive():
+    a, b = Tracer(), Tracer()
+    for t in (a, b):
+        t.count("c", 2)
+        t.sample("s", 1.5)
+    assert a.fingerprint() == b.fingerprint()
+    b.count("c")
+    assert a.fingerprint() != b.fingerprint()
+
+
+def test_merge_folds_counters_and_samples():
+    a, b = Tracer(), Tracer()
+    a.count("c", 1)
+    b.count("c", 2)
+    b.sample("s", 9.0)
+    a.merge(b)
+    assert a.get("c") == 3
+    assert a.series("s") == [9.0]
+
+
+def test_reset_clears_everything():
+    t = Tracer(capture_events=True)
+    t.count("c")
+    t.sample("s", 1)
+    t.event(0, "e")
+    t.reset()
+    assert t.get("c") == 0
+    assert t.series("s") == []
+    assert t.events == []
+
+
+def test_summary_reports_means():
+    t = Tracer()
+    t.sample("a", 2.0)
+    t.sample("a", 4.0)
+    assert t.summary()["a"] == 3.0
+    assert set(t.summary(["a"])) == {"a"}

@@ -1,0 +1,94 @@
+"""Tests for the closed-loop and open-loop clients."""
+
+from repro.core import AcuerdoCluster
+from repro.sim import Engine, ms, us
+from repro.workloads.closedloop import ClosedLoopClient
+from repro.workloads.openloop import OpenLoopClient
+
+
+def _system(seed=1, n=3):
+    e = Engine(seed=seed)
+    c = AcuerdoCluster(e, n)
+    c.preseed_leader(0)
+    c.start()
+    return e, c
+
+
+def test_closed_loop_keeps_window_outstanding():
+    e, c = _system()
+    client = ClosedLoopClient(c, window=4, message_size=10)
+    client.start()
+    e.run(until=ms(2))
+    client.stop()
+    # outstanding = sent - completed never exceeds the window
+    assert 0 <= client.sent - client.completed <= 4
+
+
+def test_closed_loop_latency_includes_client_hops():
+    e, c = _system()
+    client = ClosedLoopClient(c, window=1, message_size=10)
+    res = client.run_for(ms(2))
+    assert res.completed > 50
+    # Client-observed latency must exceed 2x the one-way hop.
+    assert res.mean_latency_us * 1000 > 2 * c.client_hop_ns
+
+
+def test_closed_loop_throughput_scales_with_window_until_knee():
+    t = {}
+    for w in (1, 4):
+        e, c = _system()
+        client = ClosedLoopClient(c, window=w, message_size=10)
+        t[w] = client.run_for(ms(3)).throughput_mb_per_sec
+    assert t[4] > 2.5 * t[1]
+
+
+def test_closed_loop_warmup_excluded():
+    e, c = _system()
+    client = ClosedLoopClient(c, window=2, message_size=10, warmup=10)
+    res = client.run_for(ms(2))
+    assert res.completed == len(res.latencies_ns) + 10
+
+
+def test_closed_loop_result_stats():
+    e, c = _system()
+    client = ClosedLoopClient(c, window=2, message_size=100)
+    res = client.run_for(ms(2))
+    assert res.message_size == 100
+    assert res.throughput_mb_per_sec > 0
+    assert res.percentile_latency_us(99) >= res.percentile_latency_us(50)
+
+
+def test_closed_loop_retries_without_leader():
+    e = Engine(seed=1)
+    c = AcuerdoCluster(e, 3)
+    c.start()  # cold: election in progress at client start
+    client = ClosedLoopClient(c, window=2, message_size=10)
+    client.start()
+    e.run(until=ms(3))
+    client.stop()
+    assert client.completed > 0  # retried through the election
+
+
+def test_open_loop_fixed_rate():
+    e, c = _system()
+    client = OpenLoopClient(c, period_ns=us(10), message_size=10)
+    client.start()
+    e.run(until=ms(1))
+    client.stop()
+    assert 90 <= client.sent <= 110
+    assert client.committed > 80
+
+
+def test_open_loop_measures_commit_gap_across_failover():
+    e, c = _system(n=5, seed=3)
+    client = OpenLoopClient(c, period_ns=us(10), message_size=10)
+    client.start()
+    e.run(until=ms(1))
+    baseline_gap = client.longest_commit_gap()
+    c.crash(c.leader_id())
+    e.run(until=ms(5))
+    client.stop()
+    gap = client.longest_commit_gap()
+    # The fail-over window dominates the largest observed gap.
+    assert gap > 3 * baseline_gap
+    assert client.dropped >= 0

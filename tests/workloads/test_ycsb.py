@@ -1,0 +1,104 @@
+"""Tests for the YCSB-load generator."""
+
+import pytest
+
+from repro.apps.hashtable import KvOp
+from repro.sim import Engine
+from repro.workloads.ycsb import YcsbLoadWorkload, ZipfianGenerator
+
+
+def _zipf(n=1000, theta=0.99, seed=1):
+    return ZipfianGenerator(n, theta, Engine(seed=seed).rng("z"))
+
+
+def test_zipfian_range():
+    z = _zipf()
+    draws = [z.next() for _ in range(5000)]
+    assert all(0 <= d < 1000 for d in draws)
+
+
+def test_zipfian_is_skewed():
+    z = _zipf()
+    draws = [z.next() for _ in range(20000)]
+    top = sum(1 for d in draws if d < 10)
+    # With theta=.99 over 1000 items, the hottest 1% gets a large share.
+    assert top / len(draws) > 0.25
+
+
+def test_zipfian_lower_theta_less_skew():
+    z99, z50 = _zipf(theta=0.99), _zipf(theta=0.5)
+    hot99 = sum(1 for _ in range(20000) if z99.next() < 10)
+    hot50 = sum(1 for _ in range(20000) if z50.next() < 10)
+    assert hot99 > 2 * hot50
+
+
+def test_zipfian_validates_args():
+    rng = Engine(seed=1).rng("z")
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0, 0.99, rng)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, 1.5, rng)
+
+
+def test_zipfian_deterministic_per_seed():
+    a = [_zipf(seed=7).next() for _ in range(10)]
+    b = [_zipf(seed=7).next() for _ in range(10)]
+    assert a == b
+
+
+def test_workload_generates_write_ops():
+    w = YcsbLoadWorkload(Engine(seed=1), record_count=100, value_size=32)
+    ops = list(w.ops(500))
+    assert all(isinstance(op, KvOp) for op in ops)
+    kinds = {op.kind for op in ops}
+    assert kinds <= {"create", "set", "delete"}
+    assert "create" in kinds and "set" in kinds
+
+
+def test_workload_value_size_respected():
+    w = YcsbLoadWorkload(Engine(seed=1), record_count=100, value_size=64)
+    for op in w.ops(100):
+        if op.kind != "delete":
+            assert len(op.value) == 64
+
+
+def test_workload_keys_within_keyspace():
+    w = YcsbLoadWorkload(Engine(seed=1), record_count=50)
+    for op in w.ops(200):
+        assert op.key.startswith("user")
+        assert 0 <= int(op.key[4:]) < 50
+
+
+def test_delete_fraction_approximate():
+    w = YcsbLoadWorkload(Engine(seed=1), record_count=100, delete_fraction=0.2)
+    ops = list(w.ops(2000))
+    frac = sum(1 for op in ops if op.kind == "delete") / len(ops)
+    assert 0.15 < frac < 0.25
+
+
+def test_mixed_workload_read_fractions():
+    from repro.workloads.ycsb import YcsbMixedWorkload
+
+    for mix, frac in (("load", 0.0), ("a", 0.5), ("b", 0.95), ("c", 1.0)):
+        w = YcsbMixedWorkload(Engine(seed=2), mix=mix, record_count=100)
+        ops = [w.next_op() for _ in range(1000)]
+        reads = sum(1 for op in ops if isinstance(op, tuple) and op[0] == "get")
+        assert abs(reads / 1000 - frac) < 0.06, (mix, reads)
+
+
+def test_mixed_workload_rejects_unknown_mix():
+    from repro.workloads.ycsb import YcsbMixedWorkload
+
+    with pytest.raises(ValueError):
+        YcsbMixedWorkload(Engine(seed=1), mix="z")
+
+
+def test_mixed_workload_writes_are_kvops():
+    from repro.workloads.ycsb import YcsbMixedWorkload
+
+    w = YcsbMixedWorkload(Engine(seed=3), mix="a", record_count=50, value_size=16)
+    for op in (w.next_op() for _ in range(200)):
+        if isinstance(op, KvOp):
+            assert op.kind == "set" and len(op.value) == 16
+        else:
+            assert op[0] == "get" and op[1].startswith("user")
