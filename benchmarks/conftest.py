@@ -10,7 +10,6 @@ from __future__ import annotations
 
 import pathlib
 
-import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
 

@@ -14,7 +14,7 @@ from benchmarks.conftest import emit, run_once
 from repro.apps.hashtable import ReplicatedHashTable
 from repro.core import AcuerdoCluster
 from repro.harness.render import render_table
-from repro.sim import Engine, ms, us
+from repro.sim import Engine, ms
 from repro.workloads.ycsb import YcsbMixedWorkload
 
 #: CPU cost of serving one local get at a replica (RDMA read handling).

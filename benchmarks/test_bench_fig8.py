@@ -20,7 +20,7 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import emit, run_once
-from repro.harness import SYSTEMS, render_series, render_table
+from repro.harness import SYSTEMS, render_table
 from repro.harness.fig8 import Fig8Point, fig8_sweep, floor, knee
 from repro.harness.plot import ascii_plot
 

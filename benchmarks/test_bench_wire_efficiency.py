@@ -16,13 +16,13 @@ from __future__ import annotations
 from benchmarks.conftest import emit, run_once
 from repro.harness.fig8 import fig8_sweep, knee
 from repro.harness.render import render_table
-from repro.rdma import RdmaFabric, RingBuffer
 from repro.sim import Engine, ms
+from repro.substrate import RingBuffer, build_substrate
 
 
 def _raw_ring(writes_per_message: int, msgs: int = 2000) -> tuple[int, int]:
     engine = Engine(seed=1)
-    fabric = RdmaFabric(engine, [0, 1, 2])
+    fabric = build_substrate("rdma", engine, [0, 1, 2])
     ring = RingBuffer(fabric, 0, [0, 1, 2], capacity=4096,
                       writes_per_message=writes_per_message)
     for i in range(msgs):
@@ -30,8 +30,9 @@ def _raw_ring(writes_per_message: int, msgs: int = 2000) -> tuple[int, int]:
         if i % 256 == 255:
             engine.run(until=engine.now + ms(1))
     engine.run()
-    nic = fabric.nic(0)
-    return nic.tx_msgs, nic.tx_bytes
+    # Only node 0 transmits, so the unified totals are its NIC's counters.
+    counters = fabric.counters()
+    return counters["substrate.rdma.tx_msgs"], counters["substrate.rdma.tx_bytes"]
 
 
 def _full() -> dict:

@@ -3,8 +3,10 @@
 Top-level convenience surface; see the subpackages for the full API:
 
 - :mod:`repro.sim` — deterministic discrete-event kernel;
-- :mod:`repro.rdma` — the simulated RDMA substrate;
-- :mod:`repro.net` — the kernel-TCP substrate;
+- :mod:`repro.substrate` — the unified transport layer (cost models,
+  endpoint/substrate interfaces, backend registry);
+- :mod:`repro.rdma` — the simulated RDMA backend;
+- :mod:`repro.net` — the kernel-TCP backend;
 - :mod:`repro.core` — the Acuerdo protocol (the paper's contribution);
 - :mod:`repro.protocols` — the six baseline systems of §4;
 - :mod:`repro.apps` — state-machine replication and the §4.3 hash table;
@@ -14,13 +16,15 @@ Top-level convenience surface; see the subpackages for the full API:
 
 from repro.core import AcuerdoCluster, AcuerdoConfig
 from repro.sim import Engine, ms, sec, us
+from repro.substrate import build_substrate
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AcuerdoCluster",
     "AcuerdoConfig",
     "Engine",
+    "build_substrate",
     "us",
     "ms",
     "sec",

@@ -18,8 +18,7 @@ import itertools
 from typing import Any, Callable, Optional
 
 from repro.core.cluster import AcuerdoCluster
-from repro.rdma.mailbox import Mailbox
-from repro.sim.engine import Engine
+from repro.substrate import Mailbox
 from repro.sim.process import Process, ProcessConfig
 
 _client_ids = itertools.count(1000)

@@ -15,11 +15,9 @@ from repro.core.node import AcuerdoNode, Role
 from repro.core.types import CommitRow, Epoch, Message, MsgHdr, Vote, HDR_ZERO, VOTE_BYTES, \
     COMMIT_ROW_BYTES, HDR_BYTES
 from repro.protocols.base import BroadcastSystem, CommitCallback
-from repro.rdma.fabric import RdmaFabric
-from repro.rdma.params import RdmaParams
-from repro.rdma.ringbuffer import RingBuffer, SlotReleasePolicy
-from repro.rdma.sst import SharedStateTable
 from repro.sim.engine import Engine
+from repro.substrate import (RdmaParams, RingBuffer, SharedStateTable,
+                             SlotReleasePolicy, build_substrate)
 
 
 class AcuerdoCluster(BroadcastSystem):
@@ -32,7 +30,8 @@ class AcuerdoCluster(BroadcastSystem):
                  rdma_params: Optional[RdmaParams] = None, record_deliveries: bool = True):
         super().__init__(engine, n, record_deliveries)
         self.cfg = config or AcuerdoConfig()
-        self.fabric = RdmaFabric(engine, self.node_ids, rdma_params)
+        self.fabric = self.substrate = build_substrate(
+            "rdma", engine, node_ids=self.node_ids, params=rdma_params)
 
         # One broadcast ring per prospective leader (§3.2: each node has
         # one outgoing buffer and one incoming buffer per remote node).

@@ -1,21 +1,31 @@
-"""Per-message latency breakdown for Acuerdo (where do the 10 µs go?).
+"""Per-message latency and wire-cost breakdowns (where do the 10 µs go?).
 
-Instruments one Acuerdo cluster to timestamp each stage of a message's
-life — client submit, leader broadcast, follower acceptance, quorum
-commit, client acknowledgment — and renders the stage costs.  Used by
-the ``latency_anatomy`` example and the calibration tests to keep the
-cost model honest about *where* time is spent, not just the total.
+Two views, both reading uniform surfaces so every system is comparable:
+
+- :class:`LatencyAnatomy` instruments one Acuerdo cluster to timestamp
+  each stage of a message's life — client submit, leader broadcast,
+  follower acceptance, quorum commit, client acknowledgment;
+- :func:`substrate_breakdown` renders any system's transport totals and
+  per-message charges from the unified ``substrate.<backend>.*``
+  counters and :meth:`~repro.substrate.cost.CostModel.cost_table`, so
+  the wire-efficiency and CPU-cost comparisons read the same keys for
+  RDMA and TCP deployments alike.
+
+Used by the ``latency_anatomy`` example and the calibration tests to
+keep the cost model honest about *where* time is spent, not just the
+total.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.cluster import AcuerdoCluster
 from repro.core.node import AcuerdoNode
 from repro.core.types import MsgHdr
-from repro.sim.engine import Engine, ms, us
+from repro.protocols.base import BroadcastSystem
+from repro.sim.engine import Engine
 
 
 @dataclass
@@ -124,3 +134,37 @@ class LatencyAnatomy:
                 for n, v in sums.items()]
         return render_table("Acuerdo latency anatomy (us since client submit)",
                             ["stage", "mean_us", "samples"], rows)
+
+
+def substrate_counters(system: BroadcastSystem,
+                       publish: bool = False) -> dict[str, int]:
+    """The system's transport totals under the unified namespace.
+
+    With ``publish=True`` the snapshot is also folded into the engine's
+    tracer, so post-run analyses find ``substrate.<backend>.*`` next to
+    the protocol counters.
+    """
+    if system.substrate is None:
+        return {}
+    if publish:
+        return system.substrate.publish_counters()
+    return system.substrate.counters()
+
+
+def substrate_breakdown(system: BroadcastSystem) -> str:
+    """Render any system's wire totals and per-message cost charges.
+
+    Reads only the substrate interface — identical keys and rows for
+    every backend, which is what makes cross-system wire-efficiency
+    tables possible without per-protocol plumbing.
+    """
+    from repro.harness.render import render_table
+
+    sub = system.substrate
+    if sub is None:
+        raise ValueError(f"{system.name}: no substrate attached")
+    rows = [[k, v] for k, v in sorted(sub.counters().items())]
+    rows += [[f"cost.{k}", v] for k, v in sub.params.cost_table().items()]
+    return render_table(
+        f"{system.name} substrate breakdown ({sub.backend})",
+        ["counter", "value"], rows)

@@ -12,6 +12,7 @@ from repro.protocols.paxos import PaxosCluster
 from repro.protocols.raft import RaftCluster
 from repro.protocols.zab import ZabCluster
 from repro.sim.engine import Engine, ms
+from repro.substrate import CostModel
 
 #: All systems of §4, by benchmark name.
 SYSTEMS = [
@@ -28,6 +29,23 @@ SYSTEMS = [
 #: benchmark; built the same way, used by the extension benches.
 EXTENSION_SYSTEMS = ["dare", "mu"]
 
+#: Which substrate backend each system deploys over (the x-axis of the
+#: paper's substrate-shape comparison).
+SUBSTRATE_OF = {
+    "acuerdo": "rdma",
+    "derecho-leader": "rdma",
+    "derecho-all": "rdma",
+    "apus": "rdma",
+    "dare": "rdma",
+    "mu": "rdma",
+    "libpaxos": "tcp",
+    "zookeeper": "tcp",
+    "etcd": "tcp",
+}
+
+#: Cluster-constructor kwarg that carries the cost model, per backend.
+_PARAMS_KWARG = {"rdma": "rdma_params", "tcp": "tcp_params"}
+
 #: How long (sim time) each system needs to elect/settle from cold.
 SETTLE_MS = {
     "acuerdo": 1,
@@ -41,8 +59,22 @@ SETTLE_MS = {
 
 
 def build_system(name: str, engine: Engine, n: int,
-                 record_deliveries: bool = False, **kwargs) -> BroadcastSystem:
-    """Instantiate (but do not start) the named system."""
+                 record_deliveries: bool = False,
+                 substrate_params: Optional[CostModel] = None,
+                 **kwargs) -> BroadcastSystem:
+    """Instantiate (but do not start) the named system.
+
+    ``substrate_params`` overrides the transport cost model through the
+    uniform substrate surface, whatever backend the system deploys over
+    (it is routed to the backend-specific constructor kwarg); per-system
+    ablations can still pass ``rdma_params=`` / ``tcp_params=`` directly.
+    """
+    if substrate_params is not None:
+        backend = SUBSTRATE_OF.get(name)
+        if backend is None:
+            raise ValueError(f"unknown system {name!r}; pick from "
+                             f"{SYSTEMS + EXTENSION_SYSTEMS}")
+        kwargs.setdefault(_PARAMS_KWARG[backend], substrate_params)
     if name == "acuerdo":
         return AcuerdoCluster(engine, n, record_deliveries=record_deliveries, **kwargs)
     if name == "derecho-leader":

@@ -11,7 +11,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.harness.factory import build_system, settle
-from repro.sim.engine import Engine, ms, us
+from repro.sim.engine import Engine, ms
+from repro.substrate import CostModel
 from repro.workloads.closedloop import ClosedLoopClient
 
 
@@ -28,11 +29,16 @@ class Fig8Point:
     mean_latency_us: float
     p99_latency_us: float
     completed: int
+    #: transport totals over the run, read from the unified
+    #: ``substrate.<backend>.*`` counters (same keys for every system).
+    wire_bytes: int = 0
+    wire_msgs: int = 0
 
 
 def fig8_point(system_name: str, n: int, message_size: int, window: int,
                seed: int = 1, min_completions: int = 400,
-               max_sim_ms: float = 400.0) -> Fig8Point:
+               max_sim_ms: float = 400.0,
+               substrate_params: Optional[CostModel] = None) -> Fig8Point:
     """Measure one (system, n, size, window) point on a fresh cluster.
 
     The run length adapts to the system's speed: it extends in chunks
@@ -40,7 +46,8 @@ def fig8_point(system_name: str, n: int, message_size: int, window: int,
     budget is exhausted (the slow TCP systems need far more simulated
     time per message than the RDMA ones)."""
     engine = Engine(seed=seed)
-    system = build_system(system_name, engine, n)
+    system = build_system(system_name, engine, n,
+                          substrate_params=substrate_params)
     settle(system)
     client = ClosedLoopClient(system, window=window, message_size=message_size,
                               warmup=min(50, 2 * window))
@@ -52,6 +59,8 @@ def fig8_point(system_name: str, n: int, message_size: int, window: int,
         chunk = min(chunk * 2, ms(32))
     client.stop()
     res = client.result()
+    counters = system.substrate_counters()
+    backend = system.substrate.backend if system.substrate else ""
     return Fig8Point(
         system=system_name,
         n=n,
@@ -62,13 +71,16 @@ def fig8_point(system_name: str, n: int, message_size: int, window: int,
         mean_latency_us=res.mean_latency_us,
         p99_latency_us=res.percentile_latency_us(99),
         completed=res.completed,
+        wire_bytes=counters.get(f"substrate.{backend}.tx_bytes", 0),
+        wire_msgs=counters.get(f"substrate.{backend}.tx_msgs", 0),
     )
 
 
 def fig8_sweep(system_name: str, n: int, message_size: int, seed: int = 1,
                max_window: int = 1024, min_completions: int = 400,
                saturation_gain: float = 1.08,
-               latency_blowup: float = 12.0) -> list[Fig8Point]:
+               latency_blowup: float = 12.0,
+               substrate_params: Optional[CostModel] = None) -> list[Fig8Point]:
     """Sweep windows 1, 2, 4, ... until saturation (§4.1's load sweep).
 
     Stops when doubling the window no longer buys ``saturation_gain``
@@ -80,7 +92,8 @@ def fig8_sweep(system_name: str, n: int, message_size: int, seed: int = 1,
     window = 1
     while window <= max_window:
         p = fig8_point(system_name, n, message_size, window, seed=seed,
-                       min_completions=min_completions)
+                       min_completions=min_completions,
+                       substrate_params=substrate_params)
         points.append(p)
         if floor_latency is None and p.completed > 0:
             floor_latency = p.mean_latency_us

@@ -13,10 +13,12 @@ The paper compares the Acuerdo-backed table against ZooKeeper and etcd
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.apps.hashtable import ReplicatedHashTable
 from repro.harness.factory import build_system, settle
 from repro.sim.engine import Engine, ms
+from repro.substrate import CostModel
 from repro.workloads.closedloop import ClosedLoopClient
 from repro.workloads.ycsb import YcsbLoadWorkload
 
@@ -41,7 +43,8 @@ KV_SERVICE_CPU_NS = 3_500
 
 def fig9_point(system_name: str, n: int, seed: int = 1, window: int = 96,
                min_completions: int = 500, max_sim_ms: float = 2_000.0,
-               record_count: int = 2_000, value_size: int = 100) -> Fig9Point:
+               record_count: int = 2_000, value_size: int = 100,
+               substrate_params: Optional[CostModel] = None) -> Fig9Point:
     """Measure saturated YCSB-load ops/sec for one (system, n)."""
     engine = Engine(seed=seed)
     kwargs = {}
@@ -51,7 +54,8 @@ def fig9_point(system_name: str, n: int, seed: int = 1, window: int = 96,
         cfg = AcuerdoConfig()
         cfg.broadcast_cpu_ns += KV_SERVICE_CPU_NS
         kwargs["config"] = cfg
-    system = build_system(system_name, engine, n, **kwargs)
+    system = build_system(system_name, engine, n,
+                          substrate_params=substrate_params, **kwargs)
     settle(system)
     table = ReplicatedHashTable(system)
     workload = YcsbLoadWorkload(engine, record_count=record_count,

@@ -1,6 +1,7 @@
-"""Simulated kernel TCP/IP substrate for the TCP baselines.
+"""Simulated kernel TCP/IP backend of :mod:`repro.substrate`.
 
-libpaxos, ZooKeeper (Zab) and etcd (Raft) run over this package.  The
+libpaxos, ZooKeeper (Zab) and etcd (Raft) run over this package
+(protocols reach it through ``repro.substrate`` only).  The
 point of modelling TCP separately from RDMA is the paper's motivating
 observation (§1): TCP pays per-message *kernel* CPU costs (syscalls,
 stack traversal, interrupts, wakeups) on both ends, which is where the

@@ -1,8 +1,8 @@
 """Kernel TCP/IP channels: reliable FIFO streams with per-message CPU cost.
 
-Cost model (defaults calibrated so the TCP atomic-broadcast baselines
-land in the paper's 10²–10³ µs latency band while the RDMA systems sit
-at ~10¹ µs):
+This is the ``tcp`` backend of :mod:`repro.substrate`.  Cost model
+(defaults calibrated so the TCP atomic-broadcast baselines land in the
+paper's 10²–10³ µs latency band while the RDMA systems sit at ~10¹ µs):
 
 - each send charges a syscall + kernel-stack cost on the *sender's* CPU;
 - each receive charges the same on the *receiver's* CPU when its event
@@ -19,20 +19,25 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Iterable, Optional
+from typing import Any, Optional
 
 from repro.sim.engine import Engine, us
 from repro.sim.process import Process
+from repro.substrate.cost import CostModel
+from repro.substrate.interface import Endpoint, Substrate
 
 
 @dataclass
-class TcpParams:
+class TcpParams(CostModel):
     """Cost knobs for the kernel TCP path.
 
     ``wakeup_latency_ns`` models epoll/interrupt delivery: the receiving
     process is woken rather than discovering data by polling L1 like the
-    RDMA receivers do.
+    RDMA receivers do.  Wire maths (``wire_bytes``,
+    ``tx_serialization_ns``) come from :class:`~repro.substrate.cost.CostModel`.
     """
+
+    backend = "tcp"
 
     kernel_send_cpu_ns: int = 2_200
     kernel_recv_cpu_ns: int = 2_200
@@ -44,16 +49,26 @@ class TcpParams:
     loss_prob: float = 0.0
     rto_ns: int = us(200)
 
-    def wire_bytes(self, payload_bytes: int) -> int:
-        """Bytes on the wire for one payload (eth+ip+tcp framing)."""
-        return payload_bytes + self.header_bytes
+    # ------------------------------------------------- uniform cost surface
 
-    def tx_serialization_ns(self, payload_bytes: int) -> int:
-        """Egress-link occupancy for one send."""
-        return max(1, int(self.wire_bytes(payload_bytes) / self.link_bandwidth_bytes_per_ns))
+    @property
+    def send_cpu_ns(self) -> int:
+        return self.kernel_send_cpu_ns
+
+    @property
+    def recv_cpu_ns(self) -> int:
+        return self.kernel_recv_cpu_ns
+
+    @property
+    def delivery_overhead_ns(self) -> int:
+        return self.stack_latency_ns
+
+    @property
+    def loss_delay_ns(self) -> int:
+        return self.rto_ns
 
 
-class TcpEndpoint:
+class TcpEndpoint(Endpoint):
     """One node's TCP stack: an inbox plus egress serialisation state."""
 
     def __init__(self, engine: Engine, process: Process, params: TcpParams):
@@ -64,6 +79,8 @@ class TcpEndpoint:
         self.tx_free_at = 0
         self.sent = 0
         self.received = 0
+        self.tx_bytes = 0
+        self.retransmits = 0
 
     @property
     def node_id(self) -> int:
@@ -96,39 +113,22 @@ class TcpEndpoint:
         return out
 
 
-class TcpNetwork:
+class TcpNetwork(Substrate):
     """All-to-all TCP connectivity between a set of processes."""
 
+    backend = "tcp"
+
     def __init__(self, engine: Engine, params: Optional[TcpParams] = None):
-        self.engine = engine
-        self.params = params or TcpParams()
+        super().__init__(engine, params or TcpParams())
         self.endpoints: dict[int, TcpEndpoint] = {}
         self._last_delivery: dict[tuple[int, int], int] = {}
         self._loss_rng = engine.rng("tcp.loss")
-        self._partition = None
-
-    def set_partition(self, *groups) -> None:
-        """Partition the network (see RdmaFabric.set_partition)."""
-        self._partition = [frozenset(g) for g in groups]
-
-    def heal_partition(self) -> None:
-        """Restore full connectivity."""
-        self._partition = None
-
-    def _blocked(self, src: int, dst: int) -> bool:
-        if self._partition is None:
-            return False
-        return not any(src in g and dst in g for g in self._partition)
 
     def attach(self, process: Process) -> TcpEndpoint:
         """Create this process's TCP stack and register it for delivery."""
         ep = TcpEndpoint(self.engine, process, self.params)
         self.endpoints[process.node_id] = ep
         return ep
-
-    def endpoint(self, node_id: int) -> TcpEndpoint:
-        """The endpoint attached for ``node_id``."""
-        return self.endpoints[node_id]
 
     # ------------------------------------------------------------------ send
 
@@ -141,7 +141,7 @@ class TcpNetwork:
         if src_ep.process.crashed:
             return
         if self._blocked(src, dst):
-            self.engine.trace.count("tcp.partition_drop")
+            self._drop_partitioned()
             return
         cpu = src_ep.process.cpu
         cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(
@@ -150,9 +150,11 @@ class TcpNetwork:
         tx_done = start + p.tx_serialization_ns(size_bytes)
         src_ep.tx_free_at = tx_done
         src_ep.sent += 1
+        src_ep.tx_bytes += p.wire_bytes(size_bytes)
         deliver_at = tx_done + p.propagation_ns + p.stack_latency_ns
         if p.loss_prob and self._loss_rng.random() < p.loss_prob:
             deliver_at += p.rto_ns
+            src_ep.retransmits += 1
         key = (src, dst)
         deliver_at = max(deliver_at, self._last_delivery.get(key, 0) + 1)
         self._last_delivery[key] = deliver_at
@@ -163,9 +165,13 @@ class TcpNetwork:
         if ep is not None:
             ep.deliver(src, payload, size)
 
-    def broadcast(self, src: int, dsts: Iterable[int], payload: Any, size_bytes: int) -> None:
-        """Send the same message to several peers (separate unicasts, as
-        real TCP deployments must)."""
-        for d in dsts:
-            if d != src:
-                self.send(src, d, payload, size_bytes)
+    # ------------------------------------------------------------ accounting
+
+    def _raw_counters(self) -> dict[str, int]:
+        eps = self.endpoints.values()
+        return {
+            "tx_bytes": sum(ep.tx_bytes for ep in eps),
+            "tx_msgs": sum(ep.sent for ep in eps),
+            "rx_msgs": sum(ep.received for ep in eps),
+            "retransmits": sum(ep.retransmits for ep in eps),
+        }

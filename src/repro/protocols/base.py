@@ -12,6 +12,7 @@ from typing import Any, Callable, Optional
 
 from repro.sim.engine import Engine
 from repro.sim.process import Process
+from repro.substrate.interface import Substrate
 
 #: Signature of a commit acknowledgment: called once, at the moment the
 #: message is committed at (and deliverable from) the serving node.
@@ -79,6 +80,11 @@ class BroadcastSystem(abc.ABC):
     #: clients; RDMA systems override this with the one-sided-write cost.
     client_hop_ns: int = 14_000
 
+    #: the transport this deployment runs over; every concrete cluster
+    #: assigns its :class:`~repro.substrate.interface.Substrate` here, so
+    #: harness code reads cost accounting uniformly across systems.
+    substrate: Optional[Substrate] = None
+
     def __init__(self, engine: Engine, n: int, record_deliveries: bool = True):
         self.engine = engine
         self.n = n
@@ -129,6 +135,13 @@ class BroadcastSystem(abc.ABC):
             listener(node_id, payload)
 
     # ------------------------------------------------------------ inspection
+
+    def substrate_counters(self) -> dict[str, int]:
+        """Transport totals under the ``substrate.<backend>.*`` namespace
+        (empty when the system has not attached a substrate)."""
+        if self.substrate is None:
+            return {}
+        return self.substrate.counters()
 
     def min_delivered(self) -> int:
         """Smallest per-node delivered count across live replicas."""

@@ -29,10 +29,8 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.protocols.base import BroadcastSystem, CommitCallback
-from repro.rdma.fabric import RdmaFabric
-from repro.rdma.params import RdmaParams
-from repro.rdma.ringbuffer import RingBuffer, SlotReleasePolicy
-from repro.rdma.sst import SharedStateTable
+from repro.substrate import (RdmaParams, RingBuffer, SharedStateTable,
+                             SlotReleasePolicy, build_substrate)
 from repro.sim.engine import Engine, us
 from repro.sim.process import Process, ProcessConfig
 
@@ -580,7 +578,8 @@ class DerechoCluster(BroadcastSystem):
         self.name = f"derecho-{self.cfg.mode}"
         if self.cfg.mode not in ("leader", "all"):
             raise ValueError(f"unknown derecho mode {self.cfg.mode!r}")
-        self.fabric = RdmaFabric(engine, self.node_ids, rdma_params)
+        self.fabric = self.substrate = build_substrate(
+            "rdma", engine, node_ids=self.node_ids, params=rdma_params)
         senders = self.senders_for(self.node_ids)
         # Derecho's two-write send path and commit-based slot reuse:
         self.rings: dict[int, RingBuffer] = {

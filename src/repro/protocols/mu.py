@@ -29,9 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Optional
 
 from repro.protocols.base import BroadcastSystem, CommitCallback
-from repro.rdma.fabric import RdmaFabric
-from repro.rdma.params import RdmaParams
-from repro.rdma.sst import SharedStateTable
+from repro.substrate import RdmaParams, SharedStateTable, build_substrate
 from repro.sim.engine import Engine, ms, us
 from repro.sim.process import Process, ProcessConfig
 
@@ -194,7 +192,8 @@ class MuCluster(BroadcastSystem):
                  rdma_params: Optional[RdmaParams] = None, record_deliveries: bool = True):
         super().__init__(engine, n, record_deliveries)
         self.cfg = config or MuConfig()
-        self.fabric = RdmaFabric(engine, self.node_ids, rdma_params)
+        self.fabric = self.substrate = build_substrate(
+            "rdma", engine, node_ids=self.node_ids, params=rdma_params)
         self.quorum = n // 2 + 1
         self.leader = 0
         self.delivered: dict[int, int] = {}

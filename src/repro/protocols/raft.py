@@ -17,8 +17,8 @@ import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
-from repro.net.tcp import TcpNetwork, TcpParams
 from repro.protocols.base import BroadcastSystem, CommitCallback
+from repro.substrate import TcpParams, build_substrate
 from repro.sim.disk import Disk
 from repro.sim.engine import Engine, us
 from repro.sim.process import Process, ProcessConfig
@@ -275,7 +275,7 @@ class RaftCluster(BroadcastSystem):
                  tcp_params: Optional[TcpParams] = None, record_deliveries: bool = True):
         super().__init__(engine, n, record_deliveries)
         self.cfg = config or RaftConfig()
-        self.net = TcpNetwork(engine, tcp_params)
+        self.net = self.substrate = build_substrate("tcp", engine, params=tcp_params)
         self.quorum = n // 2 + 1
         self.nodes: dict[int, RaftNode] = {i: RaftNode(self, i, self.cfg)
                                            for i in self.node_ids}

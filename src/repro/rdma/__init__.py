@@ -1,4 +1,5 @@
-"""Simulated RDMA substrate (reliable connections, ring buffers, SSTs).
+"""Simulated RDMA backend of :mod:`repro.substrate` (reliable
+connections, ring buffers, SSTs).
 
 This package is the substitution for the paper's Mellanox ConnectX-4 /
 RoCE hardware (see DESIGN.md §1).  It models the mechanisms Acuerdo's
@@ -26,7 +27,7 @@ from repro.rdma.params import RdmaParams
 from repro.rdma.memory import MemoryRegion, AccessError
 from repro.rdma.nic import Nic, Completion, CompletionQueue
 from repro.rdma.qp import QueuePair, SendQueueFullError
-from repro.rdma.fabric import RdmaFabric
+from repro.rdma.fabric import RdmaEndpoint, RdmaFabric
 from repro.rdma.ringbuffer import RingBuffer, RingReceiver, SlotReleasePolicy
 from repro.rdma.sst import SharedStateTable
 from repro.rdma.mailbox import Mailbox
@@ -41,6 +42,7 @@ __all__ = [
     "CompletionQueue",
     "QueuePair",
     "SendQueueFullError",
+    "RdmaEndpoint",
     "RdmaFabric",
     "RingBuffer",
     "RingReceiver",

@@ -1,14 +1,21 @@
 """Cluster-wide RDMA wiring: NICs plus all-to-all reliable connections.
 
-The fabric plays the role of the connection-establishment phase of §2.1
-(device exchange, memory registration, rkey exchange): it creates one
-NIC per node, a queue pair for every ordered pair of nodes, and a
-registry through which structures (ring buffers, SSTs) register memory
-and share rkeys.
+The fabric is the ``rdma`` backend of :mod:`repro.substrate`.  It plays
+the role of the connection-establishment phase of §2.1 (device exchange,
+memory registration, rkey exchange): it creates one NIC per node, a
+queue pair for every ordered pair of nodes, and a registry through which
+structures (ring buffers, SSTs) register memory and share rkeys.
+
+Besides the one-sided primitives the Acuerdo-family protocols use
+directly, the fabric implements the substrate message-channel surface
+(``attach``/``send``/``drain``) as a FaRM-style write-based inbox per
+endpoint, so substrate-generic code (conformance tests, future
+message-passing protocols) can run unchanged over RDMA.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from typing import Any, Callable, Iterable, Optional
 
 from repro.rdma.memory import MemoryRegion
@@ -16,24 +23,74 @@ from repro.rdma.nic import Nic
 from repro.rdma.params import RdmaParams
 from repro.rdma.qp import QueuePair
 from repro.sim.engine import Engine
+from repro.sim.process import Process
+from repro.substrate.interface import Endpoint, Substrate
 
 
-class RdmaFabric:
+class RdmaEndpoint(Endpoint):
+    """A node's message-channel attachment: a write-based inbox.
+
+    One-sided writes from peers land here without waking the owner's
+    CPU; ``drain`` is free of per-message receive charges — the
+    substrate-shape contrast with :class:`~repro.net.tcp.TcpEndpoint`.
+    """
+
+    def __init__(self, fabric: "RdmaFabric", process: Process):
+        self.fabric = fabric
+        self.engine = fabric.engine
+        self.process = process
+        self.params = fabric.params
+        self.inbox: deque[tuple[int, Any, int]] = deque()
+        self.sent = 0
+        self.received = 0
+        self.tx_bytes = 0
+        self.retransmits = 0
+        self._region = fabric.register(process.node_id, "substrate.inbox",
+                                       1 << 20, on_write=self._on_write)
+        self._rkey = self._region.grant()
+
+    @property
+    def node_id(self) -> int:
+        return self.process.node_id
+
+    def _on_write(self, key: Any, value: Any, size: int) -> None:
+        self.deliver(key, value, size)
+
+    def deliver(self, src: int, payload: Any, size: int) -> None:
+        """A one-sided write from ``src`` landed in the inbox region.
+        No wakeup: only the owner's next poll observes it."""
+        if self.process.crashed:
+            return
+        self.inbox.append((src, payload, size))
+
+    def drain(self, max_batch: Optional[int] = None) -> list[tuple[int, Any]]:
+        """Pop pending messages.  Zero receive-side CPU charge: the data
+        is already in registered memory when the poll discovers it."""
+        out: list[tuple[int, Any]] = []
+        while self.inbox and (max_batch is None or len(out) < max_batch):
+            src, payload, _size = self.inbox.popleft()
+            out.append((src, payload))
+            self.received += 1
+        return out
+
+
+class RdmaFabric(Substrate):
     """All NICs and queue pairs of one cluster (plus external clients).
 
     Node ids are small integers.  Clients that talk to the cluster over
     RDMA (the §4.3 hash-table client) are just extra node ids.
     """
 
+    backend = "rdma"
+
     def __init__(self, engine: Engine, node_ids: Iterable[int],
                  params: Optional[RdmaParams] = None):
-        self.engine = engine
-        self.params = params or RdmaParams()
+        super().__init__(engine, params or RdmaParams())
         self.nics: dict[int, Nic] = {}
         self.qps: dict[tuple[int, int], QueuePair] = {}
         self._bulk_qps: dict[tuple[int, int], QueuePair] = {}
-        self._partition = None
         self._regions: dict[tuple[int, str], MemoryRegion] = {}
+        self.endpoints: dict[int, RdmaEndpoint] = {}
         for nid in node_ids:
             self.add_node(nid)
 
@@ -49,6 +106,14 @@ class RdmaFabric:
             self.qps[(other_id, node_id)] = QueuePair(self.engine, other, nic, self.params)
         self.nics[node_id] = nic
         return nic
+
+    def attach(self, process: Process) -> RdmaEndpoint:
+        """Register ``process``'s write-based inbox endpoint (adding its
+        NIC and queue pairs if the node is new to the fabric)."""
+        self.add_node(process.node_id)
+        ep = RdmaEndpoint(self, process)
+        self.endpoints[process.node_id] = ep
+        return ep
 
     def qp(self, src: int, dst: int) -> QueuePair:
         """The reliable connection from ``src`` to ``dst``."""
@@ -72,26 +137,6 @@ class RdmaFabric:
     def crash_node(self, node_id: int) -> None:
         """Power off a node's NIC (host crash)."""
         self.nics[node_id].power_off()
-
-    # ------------------------------------------------------------ partitions
-
-    def set_partition(self, *groups: Iterable[int]) -> None:
-        """Partition the network: traffic crosses only within a group.
-
-        Nodes not named in any group are isolated.  Cross-partition
-        writes are dropped (the reliable connection would retransmit
-        until its retry budget dies; from the protocol's viewpoint the
-        peer is simply unreachable)."""
-        self._partition = [frozenset(g) for g in groups]
-
-    def heal_partition(self) -> None:
-        """Restore full connectivity."""
-        self._partition = None
-
-    def _blocked(self, src: int, dst: int) -> bool:
-        if self._partition is None:
-            return False
-        return not any(src in g and dst in g for g in self._partition)
 
     # --------------------------------------------------------------- regions
 
@@ -128,12 +173,42 @@ class RdmaFabric:
         rely on FIFO (rings, SSTs) must keep all their writes on one
         lane."""
         if self._blocked(src, dst):
-            self.engine.trace.count("fabric.partition_drop")
+            self._drop_partitioned()
             return
         qp = self.bulk_qp(src, dst) if lane == "bulk" else self.qp(src, dst)
         qp.post_write(region, rkey, key, value, size_bytes,
                       signaled=signaled, wr_id=wr_id, earliest_ns=earliest_ns)
 
-    def total_tx_bytes(self) -> int:
-        """Wire bytes sent by every NIC (used by bandwidth benches)."""
-        return sum(n.tx_bytes for n in self.nics.values())
+    def send(self, src: int, dst: int, payload: Any, size_bytes: int) -> None:
+        """Message-channel send: one one-sided write into the destination
+        endpoint's inbox region.  Charges the poster's doorbell CPU (the
+        only send-side CPU RDMA involves); both endpoints must have been
+        created with :meth:`attach`."""
+        src_ep = self.endpoints[src]
+        dst_ep = self.endpoints[dst]
+        if src_ep.process.crashed or not self.nics[src].powered:
+            return
+        if self._blocked(src, dst):
+            self._drop_partitioned()
+            return
+        cpu = src_ep.process.cpu
+        cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(
+            self.params.doorbell_cpu_ns * cpu.speed_factor)
+        self.write(src, dst, dst_ep._region, dst_ep._rkey, src, payload,
+                   size_bytes, earliest_ns=cpu.busy_until)
+        src_ep.sent += 1
+        src_ep.tx_bytes += self.params.wire_bytes(size_bytes)
+
+    # ------------------------------------------------------------ accounting
+
+    def _all_qps(self) -> Iterable[QueuePair]:
+        yield from self.qps.values()
+        yield from self._bulk_qps.values()
+
+    def _raw_counters(self) -> dict[str, int]:
+        return {
+            "tx_bytes": sum(n.tx_bytes for n in self.nics.values()),
+            "tx_msgs": sum(n.tx_msgs for n in self.nics.values()),
+            "rx_msgs": sum(qp.delivered for qp in self._all_qps()),
+            "retransmits": sum(qp.retransmits for qp in self._all_qps()),
+        }

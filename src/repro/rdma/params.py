@@ -19,10 +19,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.engine import us
+from repro.substrate.cost import CostModel
 
 
 @dataclass
-class RdmaParams:
+class RdmaParams(CostModel):
     """Cost model knobs for NICs, links and queue pairs.
 
     Attributes
@@ -56,6 +57,8 @@ class RdmaParams:
         this bound — Acuerdo signals every 1000 messages (§2.1).
     """
 
+    backend = "rdma"
+
     link_bandwidth_bytes_per_ns: float = 3.125
     propagation_ns: int = 900
     nic_tx_ns: int = 200
@@ -79,10 +82,23 @@ class RdmaParams:
     # as independent introduces negligible bandwidth error.
     qos_bulk_threshold_bytes: int = 16_384
 
-    def wire_bytes(self, payload_bytes: int) -> int:
-        """Bytes actually serialised on the link for a payload."""
-        return max(self.min_wire_bytes, payload_bytes + self.header_bytes)
+    # Wire maths (``wire_bytes``, ``tx_serialization_ns``) are inherited
+    # from CostModel; only the uniform accessors are backend-specific.
 
-    def tx_serialization_ns(self, payload_bytes: int) -> int:
-        """Time the egress link is occupied by one write."""
-        return max(1, int(self.wire_bytes(payload_bytes) / self.link_bandwidth_bytes_per_ns))
+    @property
+    def send_cpu_ns(self) -> int:
+        return self.doorbell_cpu_ns
+
+    @property
+    def recv_cpu_ns(self) -> int:
+        # One-sided writes land in registered memory with zero remote-CPU
+        # involvement — the paper's whole point (§1, §3).
+        return 0
+
+    @property
+    def delivery_overhead_ns(self) -> int:
+        return self.nic_rx_ns
+
+    @property
+    def loss_delay_ns(self) -> int:
+        return self.retransmit_timeout_ns

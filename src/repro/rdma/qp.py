@@ -10,7 +10,7 @@ on the same QP (selective signaling).
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 from repro.rdma.memory import MemoryRegion
 from repro.rdma.nic import Completion, Nic

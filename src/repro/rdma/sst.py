@@ -16,7 +16,7 @@ message" sound (§3.2).  Property tests assert this monotonicity.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional
+from typing import Any, Iterable, Optional
 
 from repro.rdma.fabric import RdmaFabric
 

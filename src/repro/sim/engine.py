@@ -40,10 +40,13 @@ class Event:
 
     Events are returned by :meth:`Engine.schedule` and may be cancelled
     with :meth:`cancel` (cancellation is O(1): the event stays in the heap
-    but is skipped when popped).
+    but is skipped when popped).  The engine tracks how many cancelled
+    events its heap holds and compacts lazily, so cancellation-heavy
+    workloads — timeout resets, election backoffs — never inflate the
+    heap or slow :meth:`Engine.idle` to a full scan.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_engine", "_popped")
 
     def __init__(self, time: int, seq: int, fn: Callable[..., Any], args: tuple):
         self.time = time
@@ -51,10 +54,19 @@ class Event:
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._engine: Optional["Engine"] = None
+        self._popped = False
 
     def cancel(self) -> None:
         """Prevent this event from firing; safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        # Only count cancellations of events still sitting in a heap;
+        # cancelling an event that already fired (or was compacted away)
+        # must not skew the live count.
+        if self._engine is not None and not self._popped:
+            self._engine._note_cancelled()
 
     def __lt__(self, other: "Event") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -75,11 +87,15 @@ class Engine:
         evolve identically.
     """
 
+    #: below this heap size, compaction is never worth the rebuild
+    _COMPACT_MIN = 64
+
     def __init__(self, seed: int = 0):
         self.seed = seed
         self.now: int = 0
         self._heap: list[Event] = []
         self._seq: int = 0
+        self._cancelled_in_heap: int = 0
         self._rngs: dict[str, random.Random] = {}
         self._stopped = False
         from repro.sim.trace import Tracer
@@ -109,9 +125,33 @@ class Engine:
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < now {self.now}")
         ev = Event(int(time), self._seq, fn, args)
+        ev._engine = self
         self._seq += 1
         heapq.heappush(self._heap, ev)
         return ev
+
+    # -------------------------------------------------------- heap hygiene
+
+    def _note_cancelled(self) -> None:
+        """An in-heap event was cancelled; compact once dead weight
+        exceeds half the heap (amortised O(1) per cancellation)."""
+        self._cancelled_in_heap += 1
+        if (len(self._heap) >= self._COMPACT_MIN
+                and self._cancelled_in_heap * 2 > len(self._heap)):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled events and re-heapify.  Pop order is defined by
+        ``(time, seq)``, not heap layout, so determinism is unaffected."""
+        live = []
+        for ev in self._heap:
+            if ev.cancelled:
+                ev._popped = True
+            else:
+                live.append(ev)
+        self._heap = live
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def schedule(self, delay: int, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule ``fn(*args)`` ``delay`` nanoseconds from now."""
@@ -126,7 +166,9 @@ class Engine:
         heap = self._heap
         while heap:
             ev = heapq.heappop(heap)
+            ev._popped = True
             if ev.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self.now = ev.time
             ev.fn(*ev.args)
@@ -149,11 +191,12 @@ class Engine:
                 return executed
             ev = heap[0]
             if ev.cancelled:
-                heapq.heappop(heap)
+                heapq.heappop(heap)._popped = True
+                self._cancelled_in_heap -= 1
                 continue
             if until is not None and ev.time > until:
                 break
-            heapq.heappop(heap)
+            heapq.heappop(heap)._popped = True
             self.now = ev.time
             ev.fn(*ev.args)
             executed += 1
@@ -170,6 +213,12 @@ class Engine:
         """Number of events still in the heap (including cancelled ones)."""
         return len(self._heap)
 
+    @property
+    def live_pending(self) -> int:
+        """Number of not-yet-cancelled events in the heap."""
+        return len(self._heap) - self._cancelled_in_heap
+
     def idle(self) -> bool:
-        """True when no live events remain."""
-        return all(ev.cancelled for ev in self._heap)
+        """True when no live events remain (O(1): tracked by counter,
+        not a heap scan)."""
+        return len(self._heap) == self._cancelled_in_heap

@@ -15,7 +15,7 @@ drains it faster than the network refills it.  We reproduce exactly that:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.sim.engine import Engine, Event, us

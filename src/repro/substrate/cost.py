@@ -1,0 +1,93 @@
+"""Shared cost accounting for every transport substrate.
+
+The paper's Fig. 8 argument is a *substrate-shape* comparison: identical
+protocol work costs an order of magnitude more over kernel TCP than over
+one-sided RDMA because of where the per-message charges land.  This
+module pins down the shape once so each backend only declares its
+numbers:
+
+- **wire charges** — serialisation at link rate plus propagation — are
+  identical maths for every backend and implemented here exactly once
+  (``wire_bytes`` / ``tx_serialization_ns``);
+- **CPU charges** differ per backend and are exposed through the uniform
+  accessors ``send_cpu_ns`` / ``recv_cpu_ns`` (RDMA: an 80 ns doorbell
+  and *zero* receiver CPU; TCP: microseconds of kernel stack on both
+  ends);
+- **loss** is uniformly modelled as added delay (go-back-N retransmit on
+  RDMA, RTO on TCP), surfaced as ``loss_delay_ns``;
+- **delivery overhead** is the extra one-way latency between the last
+  bit leaving the wire and the payload being visible to the receiver
+  (RDMA: NIC rx processing; TCP: interrupt + softirq + stack).
+
+Concrete models (:class:`~repro.rdma.params.RdmaParams`,
+:class:`~repro.net.tcp.TcpParams`) subclass this and keep their
+historical field names; the accessors are what substrate-generic code
+(conformance tests, ``repro.harness.breakdown``) programs against.
+"""
+
+from __future__ import annotations
+
+
+class CostModel:
+    """Base class for per-backend cost models.
+
+    Subclasses are dataclasses declaring the backend's fields; the class
+    attributes below are fallbacks so the shared helpers work even when
+    a backend has no use for a knob (e.g. TCP has no minimum wire
+    message, so ``min_wire_bytes`` stays 0).
+    """
+
+    #: short backend tag ("rdma", "tcp", ...), mirrored by the substrate
+    backend: str = "abstract"
+
+    link_bandwidth_bytes_per_ns: float = 3.125
+    propagation_ns: int = 0
+    header_bytes: int = 0
+    min_wire_bytes: int = 0
+    loss_prob: float = 0.0
+
+    # ------------------------------------------------------------ wire maths
+
+    def wire_bytes(self, payload_bytes: int) -> int:
+        """Bytes actually serialised on the link for one payload."""
+        return max(self.min_wire_bytes, payload_bytes + self.header_bytes)
+
+    def tx_serialization_ns(self, payload_bytes: int) -> int:
+        """Time the egress link is occupied by one message."""
+        return max(1, int(self.wire_bytes(payload_bytes) / self.link_bandwidth_bytes_per_ns))
+
+    # ----------------------------------------------------- uniform accessors
+
+    @property
+    def send_cpu_ns(self) -> int:
+        """CPU charged to the *sender* per message."""
+        raise NotImplementedError
+
+    @property
+    def recv_cpu_ns(self) -> int:
+        """CPU charged to the *receiver* per message picked up."""
+        raise NotImplementedError
+
+    @property
+    def delivery_overhead_ns(self) -> int:
+        """One-way latency beyond serialisation + propagation."""
+        raise NotImplementedError
+
+    @property
+    def loss_delay_ns(self) -> int:
+        """Delay a lost wire message suffers before transparent recovery."""
+        raise NotImplementedError
+
+    def cost_table(self) -> dict[str, float]:
+        """The uniform charges, for rendering and cross-backend checks."""
+        return {
+            "send_cpu_ns": self.send_cpu_ns,
+            "recv_cpu_ns": self.recv_cpu_ns,
+            "delivery_overhead_ns": self.delivery_overhead_ns,
+            "propagation_ns": self.propagation_ns,
+            "loss_delay_ns": self.loss_delay_ns,
+            "loss_prob": self.loss_prob,
+            "header_bytes": self.header_bytes,
+            "min_wire_bytes": self.min_wire_bytes,
+            "link_bandwidth_bytes_per_ns": self.link_bandwidth_bytes_per_ns,
+        }

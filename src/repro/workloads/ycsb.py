@@ -10,7 +10,6 @@ table populated).
 
 from __future__ import annotations
 
-import math
 from typing import Iterator
 
 from repro.apps.hashtable import KvOp

@@ -4,7 +4,7 @@ import pytest
 
 from repro.apps.hashtable import HashTableStateMachine, KvOp, ReplicatedHashTable
 from repro.core import AcuerdoCluster
-from repro.sim import Engine, ms, us
+from repro.sim import Engine, ms
 
 
 def _table(n=3, seed=1):

@@ -1,7 +1,6 @@
 """Catch-up behaviour: the §3 'efficient catch-up' claims, end to end."""
 
 from repro.core import AcuerdoCluster, AcuerdoConfig
-from repro.core.node import Role
 from repro.sim import Engine, ms, us
 
 

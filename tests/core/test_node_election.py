@@ -1,8 +1,8 @@
 """Integration tests: Acuerdo elections and leader transition (§3.3-3.4)."""
 
-from repro.core import AcuerdoCluster, AcuerdoConfig
+from repro.core import AcuerdoCluster
 from repro.core.node import Role
-from repro.sim import Engine, ms, us
+from repro.sim import Engine, ms
 
 
 def _cold(n=3, seed=1):

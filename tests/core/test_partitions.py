@@ -2,7 +2,7 @@
 
 from repro.core import AcuerdoCluster
 from repro.core.node import Role
-from repro.sim import Engine, ms, us
+from repro.sim import Engine, ms
 
 
 def _cluster(n=5, seed=1):

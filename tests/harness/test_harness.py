@@ -1,6 +1,5 @@
 """Tests for the experiment harness (factory, fig8/fig9/table1 drivers)."""
 
-import math
 
 import pytest
 

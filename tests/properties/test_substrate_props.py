@@ -3,7 +3,7 @@
 from hypothesis import given, settings, strategies as st
 
 from repro.rdma import RdmaFabric, RdmaParams, RingBuffer, SharedStateTable
-from repro.sim import Engine, us
+from repro.sim import Engine
 
 
 @settings(max_examples=40, deadline=None)

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-import pytest
 
-from repro.sim import Engine, ms, us
+from repro.sim import ms, us
 
 
 def drive(system, engine, count, gap_us=50.0, size=10, start=0, tag="m"):

@@ -2,7 +2,7 @@
 
 from repro.protocols.dare import DareCluster
 from repro.protocols.mu import MuCluster
-from repro.sim import Engine, ms, us
+from repro.sim import Engine, ms
 
 from tests.protocols.conftest import drive
 

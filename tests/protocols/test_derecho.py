@@ -1,6 +1,6 @@
 """Tests for the Derecho baseline (virtual synchrony over RDMA)."""
 
-from repro.protocols.derecho import DerechoCluster, DerechoConfig, NULL
+from repro.protocols.derecho import DerechoCluster, DerechoConfig
 from repro.sim import Engine, ms, us
 
 from tests.protocols.conftest import drive

@@ -1,7 +1,7 @@
 """Tests for the Raft/etcd baseline."""
 
-from repro.protocols.raft import RaftCluster, RaftConfig, RaftNode
-from repro.sim import Engine, ms, us
+from repro.protocols.raft import RaftCluster
+from repro.sim import Engine, ms
 
 from tests.protocols.conftest import drive
 

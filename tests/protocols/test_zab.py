@@ -1,6 +1,6 @@
 """Tests for the Zab/ZooKeeper baseline."""
 
-from repro.protocols.zab import ZabCluster, ZabConfig, ZabNode
+from repro.protocols.zab import ZabCluster
 from repro.sim import Engine, ms, us
 
 from tests.protocols.conftest import drive

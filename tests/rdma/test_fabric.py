@@ -1,9 +1,8 @@
 """Unit tests for cluster-wide RDMA wiring."""
 
-import pytest
 
 from repro.rdma import RdmaFabric, RdmaParams
-from repro.sim import Engine, us
+from repro.sim import Engine
 
 
 def test_all_to_all_qps_created():

@@ -1,7 +1,7 @@
 """Unit tests for the RDMA ring buffer (§3.2)."""
 
 from repro.rdma import RdmaFabric, RingBuffer, SlotReleasePolicy
-from repro.sim import Engine, us
+from repro.sim import Engine
 
 
 def _ring(n=3, capacity=8, writes_per_message=1, seed=1):

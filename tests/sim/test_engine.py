@@ -146,3 +146,45 @@ def test_idle_reflects_live_events():
     assert not e.idle()
     ev.cancel()
     assert e.idle()
+
+
+def test_idle_counter_survives_cancel_after_fire():
+    # Cancelling an event that already executed must not corrupt the
+    # live-event accounting (Process.crash cancels poll events that may
+    # have fired already).
+    e = Engine()
+    ev = e.schedule(5, lambda: None)
+    e.schedule(10, lambda: None)
+    e.run(until=7)
+    ev.cancel()           # already popped: a no-op for the counter
+    assert not e.idle()   # the t=10 event is still live
+    e.run()
+    assert e.idle()
+
+
+def test_cancelled_heap_compacts_lazily():
+    e = Engine()
+    events = [e.schedule(1000 + i, lambda: None) for i in range(200)]
+    keeper_ran = []
+    e.schedule(2000, lambda: keeper_ran.append(True))
+    assert e.pending == 201
+    for ev in events:
+        ev.cancel()
+    # More than half the heap was dead weight: it must have compacted.
+    assert e.pending < 201
+    assert e.live_pending == 1
+    assert not e.idle()
+    e.run()
+    assert keeper_ran == [True]
+    assert e.idle()
+
+
+def test_double_cancel_counts_once():
+    e = Engine()
+    ev = e.schedule(10, lambda: None)
+    e.schedule(20, lambda: None)
+    ev.cancel()
+    ev.cancel()
+    assert e.live_pending == 1
+    e.run()
+    assert e.idle()
