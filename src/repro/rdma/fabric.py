@@ -109,7 +109,12 @@ class RdmaFabric(Substrate):
 
     def attach(self, process: Process) -> RdmaEndpoint:
         """Register ``process``'s write-based inbox endpoint (adding its
-        NIC and queue pairs if the node is new to the fabric)."""
+        NIC and queue pairs if the node is new to the fabric).  Idempotent,
+        like :meth:`add_node`: re-attaching a node returns its existing
+        endpoint so peers' cached rkeys and counters stay valid."""
+        existing = self.endpoints.get(process.node_id)
+        if existing is not None:
+            return existing
         self.add_node(process.node_id)
         ep = RdmaEndpoint(self, process)
         self.endpoints[process.node_id] = ep

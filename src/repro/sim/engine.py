@@ -142,14 +142,19 @@ class Engine:
 
     def _compact(self) -> None:
         """Drop cancelled events and re-heapify.  Pop order is defined by
-        ``(time, seq)``, not heap layout, so determinism is unaffected."""
+        ``(time, seq)``, not heap layout, so determinism is unaffected.
+
+        Compaction mutates the heap *in place* (slice assignment, never
+        rebinding ``self._heap``): :meth:`run` and :meth:`step` hold a
+        local alias to the list, and cancel() — hence _compact() — can
+        fire from inside an executing event."""
         live = []
         for ev in self._heap:
             if ev.cancelled:
                 ev._popped = True
             else:
                 live.append(ev)
-        self._heap = live
+        self._heap[:] = live
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
 

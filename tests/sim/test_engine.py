@@ -179,6 +179,39 @@ def test_cancelled_heap_compacts_lazily():
     assert e.idle()
 
 
+def test_compaction_during_run_keeps_heap_alias_valid():
+    # Regression: _compact() must mutate the heap in place.  If it rebinds
+    # self._heap instead, run()'s local alias goes stale — events scheduled
+    # after compaction never fire in that run, live-event accounting drifts,
+    # and already-executed events fire again on the next run().
+    e = Engine()
+    fired = []
+    victims = []
+
+    def canceller():
+        # Kill >half of a 200+-event heap from inside a running event,
+        # forcing _compact() mid-run...
+        for ev in victims:
+            ev.cancel()
+        # ...then schedule into the (possibly new) heap.
+        e.schedule(50, lambda: fired.append("post"))
+
+    e.schedule(1, lambda: fired.append("early"))
+    e.schedule(2, canceller)
+    victims.extend(
+        e.schedule(1000 + i, lambda: fired.append("victim")) for i in range(200)
+    )
+    e.schedule(3000, lambda: fired.append("keeper"))
+
+    e.run()
+    assert fired == ["early", "post", "keeper"]
+    assert e.idle()
+    assert e.live_pending == 0
+    # A second run must be a no-op: nothing replays from a stale heap.
+    assert e.run() == 0
+    assert fired == ["early", "post", "keeper"]
+
+
 def test_double_cancel_counts_once():
     e = Engine()
     ev = e.schedule(10, lambda: None)
