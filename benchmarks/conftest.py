@@ -4,19 +4,41 @@ Every benchmark regenerates one paper artifact (a Fig. 8 panel, Table 1,
 Fig. 9, or an ablation from DESIGN.md §4), prints the same rows/series
 the paper reports, and archives the rendered text under ``results/`` so
 EXPERIMENTS.md can reference a stable copy.
+
+All benchmarks carry the ``bench`` marker (added here at collection
+time) and live outside the tier-1 ``testpaths``; run them explicitly
+with ``pytest benchmarks`` (optionally ``-m bench``).  Sweep-shaped
+drivers fan their independent simulation points across processes via
+:mod:`repro.harness.parallel`; ``REPRO_WORKERS=1`` forces the
+sequential path.
 """
 
 from __future__ import annotations
 
 import pathlib
+from typing import Any, Callable, TypeVar
 
+import pytest
+
+from repro.harness.parallel import default_workers
 
 RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+#: Sweep fan-out used by every benchmark driver (``$REPRO_WORKERS``
+#: overrides; 1 means fully sequential, the deterministic reference).
+WORKERS = default_workers()
+
+T = TypeVar("T")
+
+
+def pytest_collection_modifyitems(items) -> None:
+    for item in items:
+        item.add_marker(pytest.mark.bench)
 
 
 def emit(name: str, text: str, capsys=None) -> None:
     """Print a rendered artifact (visible even under capture) and save it."""
-    RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
     if capsys is not None:
         with capsys.disabled():
@@ -26,7 +48,7 @@ def emit(name: str, text: str, capsys=None) -> None:
         print(text)
 
 
-def run_once(benchmark, fn, *args, **kwargs):
+def run_once(benchmark, fn: Callable[..., T], *args: Any, **kwargs: Any) -> T:
     """Run ``fn`` exactly once under pytest-benchmark timing.
 
     The simulations are deterministic and long; statistical repetition

@@ -14,8 +14,9 @@ and the RDMC relay closes the gap (and overtakes) as payloads grow.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import WORKERS, emit, run_once
 from repro.harness.fig8 import fig8_sweep, knee
+from repro.harness.parallel import run_points
 from repro.harness.render import render_table
 
 SIZES = (10, 1_000, 16_384, 65_536)
@@ -23,12 +24,13 @@ N = 7
 
 
 def _run() -> dict:
-    out = {}
-    for size in SIZES:
-        for name in ("acuerdo", "derecho-leader"):
-            pts = fig8_sweep(name, N, size, min_completions=150, max_window=64)
-            out[(name, size)] = knee(pts).throughput_mb_s
-    return out
+    cells = [(name, size) for size in SIZES
+             for name in ("acuerdo", "derecho-leader")]
+    sweeps = run_points(fig8_sweep,
+                        [(name, N, size, 1, 64, 150) for name, size in cells],
+                        workers=WORKERS)
+    return {cell: knee(pts).throughput_mb_s
+            for cell, pts in zip(cells, sweeps)}
 
 
 def test_message_size_crossover(benchmark, capsys):

@@ -12,8 +12,9 @@ and without the slow node, plus Acuerdo's catch-up behaviour.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import WORKERS, emit, run_once
 from repro.harness.factory import build_system, settle
+from repro.harness.parallel import run_points
 from repro.harness.render import render_table
 from repro.protocols.derecho import DerechoConfig
 from repro.sim import Engine, ms, us
@@ -53,12 +54,9 @@ def _measure(name: str, slow: bool, seed: int = 3) -> dict:
 
 
 def _run() -> dict:
-    return {
-        ("acuerdo", False): _measure("acuerdo", False),
-        ("acuerdo", True): _measure("acuerdo", True),
-        ("derecho-leader", False): _measure("derecho-leader", False),
-        ("derecho-leader", True): _measure("derecho-leader", True),
-    }
+    cells = [("acuerdo", False), ("acuerdo", True),
+             ("derecho-leader", False), ("derecho-leader", True)]
+    return dict(zip(cells, run_points(_measure, cells, workers=WORKERS)))
 
 
 def test_slow_node_tolerance(benchmark, capsys):

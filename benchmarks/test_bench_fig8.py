@@ -19,9 +19,10 @@ from __future__ import annotations
 
 import pytest
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import WORKERS, emit, run_once
 from repro.harness import SYSTEMS, render_table
 from repro.harness.fig8 import Fig8Point, fig8_sweep, floor, knee
+from repro.harness.parallel import run_points
 from repro.harness.plot import ascii_plot
 
 #: completions measured per point; enough for stable means, small enough
@@ -30,10 +31,14 @@ MIN_COMPLETIONS = 250
 
 
 def _panel(n: int, size: int) -> dict[str, list[Fig8Point]]:
-    sweeps: dict[str, list[Fig8Point]] = {}
-    for name in SYSTEMS:
-        sweeps[name] = fig8_sweep(name, n, size, min_completions=MIN_COMPLETIONS)
-    return sweeps
+    # One sweep per system, fanned across processes; each sweep's
+    # internal window points stay sequential (the stopping rule is
+    # adaptive), so the system axis is the parallel one here.
+    sweeps = run_points(
+        fig8_sweep,
+        [(name, n, size, 1, 1024, MIN_COMPLETIONS) for name in SYSTEMS],
+        workers=WORKERS)
+    return dict(zip(SYSTEMS, sweeps))
 
 
 def _render(panel: str, n: int, size: int,

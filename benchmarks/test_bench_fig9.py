@@ -11,19 +11,18 @@ with throughput roughly flat in cluster size (log-scale separation).
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit, run_once
-from repro.harness.fig9 import FIG9_SYSTEMS, fig9_point
+from benchmarks.conftest import WORKERS, emit, run_once
+from repro.harness.fig9 import FIG9_SYSTEMS, fig9_grid
 from repro.harness.render import render_table
 
 SIZES = (3, 5, 7, 9)
 
 
 def _run() -> dict[str, dict[int, float]]:
-    out: dict[str, dict[int, float]] = {}
-    for name in FIG9_SYSTEMS:
-        out[name] = {}
-        for n in SIZES:
-            out[name][n] = fig9_point(name, n, min_completions=400).ops_per_sec
+    pts = fig9_grid(SIZES, FIG9_SYSTEMS, workers=WORKERS, min_completions=400)
+    out: dict[str, dict[int, float]] = {name: {} for name in FIG9_SYSTEMS}
+    for p in pts:
+        out[p.system][p.n] = p.ops_per_sec
     return out
 
 

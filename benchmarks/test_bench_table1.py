@@ -13,19 +13,22 @@ with the 3-node cluster an order of magnitude below the 7-node one.
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import WORKERS, emit, run_once
+from repro.harness.parallel import run_points
 from repro.harness.render import render_table
 from repro.harness.table1 import DEFAULT_SLOW_NODES, table1_elections
 
 PAPER_MS = {3: 0.3, 5: 6.8, 7: 12.1, 9: 12.6}
 
+SEEDS = (1, 2)
+
 
 def _run() -> dict[int, list[float]]:
-    out = {}
-    for n in (3, 5, 7, 9):
-        out[n] = []
-        for seed in (1, 2):
-            out[n].extend(table1_elections(n, seed=seed, kills=4))
+    cells = [(n, seed, 4) for n in (3, 5, 7, 9) for seed in SEEDS]
+    runs = run_points(table1_elections, cells, workers=WORKERS)
+    out: dict[int, list[float]] = {n: [] for n in (3, 5, 7, 9)}
+    for (n, _seed, _kills), durations in zip(cells, runs):
+        out[n].extend(durations)
     return out
 
 

@@ -13,8 +13,9 @@ This bench isolates the mechanism at two levels:
 
 from __future__ import annotations
 
-from benchmarks.conftest import emit, run_once
+from benchmarks.conftest import WORKERS, emit, run_once
 from repro.harness.fig8 import fig8_sweep, knee
+from repro.harness.parallel import run_points
 from repro.harness.render import render_table
 from repro.sim import Engine, ms
 from repro.substrate import RingBuffer, build_substrate
@@ -38,8 +39,11 @@ def _raw_ring(writes_per_message: int, msgs: int = 2000) -> tuple[int, int]:
 def _full() -> dict:
     one_msgs, one_bytes = _raw_ring(1)
     two_msgs, two_bytes = _raw_ring(2)
-    acu = knee(fig8_sweep("acuerdo", 3, 10, min_completions=250))
-    der = knee(fig8_sweep("derecho-leader", 3, 10, min_completions=250))
+    acu_pts, der_pts = run_points(
+        fig8_sweep,
+        [(name, 3, 10, 1, 1024, 250) for name in ("acuerdo", "derecho-leader")],
+        workers=WORKERS)
+    acu, der = knee(acu_pts), knee(der_pts)
     return {
         "one": (one_msgs, one_bytes),
         "two": (two_msgs, two_bytes),

@@ -55,11 +55,15 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 
     panels = {"a": (3, 10), "b": (3, 1000), "c": (7, 10), "d": (7, 1000)}
     n, size = panels[args.panel]
+    from repro.harness.parallel import run_points
+
     names = args.systems or SYSTEMS
+    sweeps = run_points(
+        fig8_sweep,
+        [(name, n, size, args.seed, 1024, args.messages) for name in names],
+        workers=args.workers)
     rows, summary = [], []
-    for name in names:
-        pts = fig8_sweep(name, n, size, seed=args.seed,
-                         min_completions=args.messages)
+    for name, pts in zip(names, sweeps):
         for p in pts:
             rows.append([name, p.window, round(p.throughput_mb_s, 3),
                          round(p.mean_latency_us, 1)])
@@ -78,9 +82,13 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.harness.render import render_table
     from repro.harness.table1 import table1_elections
 
+    from repro.harness.parallel import run_points
+
+    runs = run_points(table1_elections,
+                      [(n, args.seed, args.kills) for n in args.sizes],
+                      workers=args.workers)
     rows = []
-    for n in args.sizes:
-        durations = table1_elections(n, seed=args.seed, kills=args.kills)
+    for n, durations in zip(args.sizes, runs):
         mean = sum(durations) / len(durations) if durations else float("nan")
         rows.append([n, len(durations), round(mean, 3)])
     print(render_table("Table 1: election duration vs replica count",
@@ -89,16 +97,16 @@ def _cmd_table1(args: argparse.Namespace) -> int:
 
 
 def _cmd_fig9(args: argparse.Namespace) -> int:
-    from repro.harness.fig9 import FIG9_SYSTEMS, fig9_point
+    from repro.harness.fig9 import FIG9_SYSTEMS, fig9_grid
     from repro.harness.render import render_table
 
-    rows = []
-    for n in args.sizes:
-        row = [n]
-        for name in FIG9_SYSTEMS:
-            row.append(round(fig9_point(name, n, seed=args.seed,
-                                        min_completions=args.messages).ops_per_sec))
-        rows.append(row)
+    pts = fig9_grid(tuple(args.sizes), FIG9_SYSTEMS, seed=args.seed,
+                    workers=args.workers, min_completions=args.messages)
+    grid: dict[str, dict[int, float]] = {name: {} for name in FIG9_SYSTEMS}
+    for p in pts:
+        grid[p.system][p.n] = p.ops_per_sec
+    rows = [[n] + [round(grid[name][n]) for name in FIG9_SYSTEMS]
+            for n in args.sizes]
     print(render_table("Figure 9: YCSB-load ops/sec vs node count",
                        ["nodes"] + FIG9_SYSTEMS, rows))
     return 0
@@ -120,6 +128,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="Acuerdo (ICPP'22) reproduction experiments")
     parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=None,
+                        help="sweep fan-out processes (default: "
+                             "$REPRO_WORKERS or the core count; 1 = "
+                             "sequential)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("shootout", help="all systems at one load point")

@@ -55,12 +55,13 @@ class AcuerdoCluster(BroadcastSystem):
                                            initial=CommitRow(HDR_ZERO, 0),
                                            signal_interval=self.cfg.signal_interval)
 
+        #: external RDMA clients (see repro.core.clientport); replicas
+        #: poll their request mailboxes as part of the event loop.  Built
+        #: before the nodes, which cache a reference to this list.
+        self.client_ports: list = []
         self.nodes: dict[int, AcuerdoNode] = {
             i: AcuerdoNode(self, i, self.cfg) for i in self.node_ids}
         self._leader_hint: Optional[int] = None
-        #: external RDMA clients (see repro.core.clientport); replicas
-        #: poll their request mailboxes as part of the event loop.
-        self.client_ports: list = []
 
     def register_client_port(self, port) -> None:
         self.client_ports.append(port)

@@ -119,23 +119,26 @@ class AcuerdoNode(Process):
         self._last_gc = 0
         self._last_stranded_react = 0
 
-    # ------------------------------------------------------------- shorthand
-
-    @property
-    def _accept_sst(self):
-        return self.cluster.accept_sst
-
-    @property
-    def _vote_sst(self):
-        return self.cluster.vote_sst
-
-    @property
-    def _commit_sst(self):
-        return self.cluster.commit_sst
-
-    @property
-    def _ring(self):
-        return self.cluster.rings[self.node_id]
+        # --- hot-path shorthand ---
+        # The cluster builds rings and SSTs before any node, and they
+        # live for the whole run, so plain attributes replace property
+        # indirection on every poll.  The mirror list is fixed too:
+        # Acuerdo never drops a ring receiver (it only excludes them
+        # from slot accounting), so the mirrors this node polls are
+        # exactly the ones present at construction.
+        self._accept_sst = cluster.accept_sst
+        self._vote_sst = cluster.vote_sst
+        self._commit_sst = cluster.commit_sst
+        self._ring = cluster.rings[node_id]
+        # Same list object the cluster appends registered ports to.
+        self._client_ports = cluster.client_ports
+        self._ring_mirrors = [ring.receiver(node_id)
+                              for ring in cluster.rings.values()
+                              if node_id in ring._receivers]
+        # Commit-SST version at the last heartbeat observation: lets the
+        # failure detector skip the per-peer row scan when no commit-row
+        # write has landed since (the scan is a no-op in that case).
+        self._hb_seen_version = -1
 
     def _charge(self, cost_ns: int) -> None:
         """Charge protocol CPU work for this poll iteration."""
@@ -150,7 +153,8 @@ class AcuerdoNode(Process):
         if self.role is Role.ELECTING:
             self._election_step(timeout_fired=False)
         else:
-            self._serve_client_ports()
+            if self._client_ports:
+                self._serve_client_ports()
             self._commit_loop()
             if self.role is Role.LEADER:
                 self._pump_client_queue()
@@ -159,8 +163,15 @@ class AcuerdoNode(Process):
                 self._check_stranded_voters()
             else:
                 self._check_leader_alive()
-        self._maybe_push_commit_row()
-        self._maybe_gc()
+        # Period guards inlined: both methods re-check, so calling them
+        # only when due is behaviourally identical and skips two calls
+        # on the vast majority of polls.
+        now = self.engine.now
+        cfg = self.cfg
+        if now - self._last_commit_push >= cfg.commit_push_period_ns:
+            self._maybe_push_commit_row()
+        if now - self._last_gc >= cfg.gc_period_ns:
+            self._maybe_gc()
 
     # ------------------------------------------------------ Fig. 4: broadcast
 
@@ -208,7 +219,7 @@ class AcuerdoNode(Process):
         Only the leader turns requests into broadcasts; other replicas
         drop what lands in their mailboxes (clients re-send after a
         timeout, as with any leader-based service)."""
-        for port in self.cluster.client_ports:
+        for port in self._client_ports:
             reqs = port.drain_requests_at(self.node_id)
             if self.role is not Role.LEADER:
                 if reqs:
@@ -225,9 +236,8 @@ class AcuerdoNode(Process):
 
     def _drain_rings(self) -> None:
         accepted_any = False
-        for sender, ring in self.cluster.rings.items():
-            rr = ring.receiver(self.node_id) if self.node_id in ring._receivers else None
-            if rr is None:
+        for rr in self._ring_mirrors:
+            if not rr._ready:
                 continue
             for _seq, msg in rr.poll():
                 accepted_any |= self._accept(msg)
@@ -298,10 +308,14 @@ class AcuerdoNode(Process):
 
     def _commit_ready(self) -> bool:
         if self.role is Role.LEADER:
+            # Direct read of this node's local SST copy (read() is two
+            # dict hops + a call per peer; this loop runs per commit).
+            accept_copy = self._accept_sst.copies[self.node_id]
+            nxt, e_cur = self.Next, self.E_cur
             n_ok = 0
             for k in self.peers:
-                h = self._accept_sst.read(self.node_id, k)
-                if h is not None and h >= self.Next and h.e == self.E_cur:
+                h = accept_copy[k]
+                if h is not None and h >= nxt and h.e == e_cur:
                     n_ok += 1
             return n_ok >= self.quorum
         row: CommitRow = self._commit_sst.read(self.node_id, self.E_cur.leader)
@@ -390,26 +404,38 @@ class AcuerdoNode(Process):
         """Accept-based slot reuse (§4.1): a slot is free once the
         receiver has accepted the message, long before commit."""
         ring = self._ring
+        accept_copy = self._accept_sst.copies[self.node_id]
+        e_cur = self.E_cur
         for k in self.peers:
             if k in self._evicted:
                 continue
-            h = self._accept_sst.read(self.node_id, k)
-            if h is None or h.e != self.E_cur:
+            h = accept_copy[k]
+            if h is None or h.e != e_cur:
                 continue
             seq = self._diff_seq.get(k) if h.cnt == 0 else self._epoch_msg_seq.get(h.cnt)
             if seq is not None:
                 ring.mark_released(k, seq + 1)
 
     def _observe_peer_heartbeats(self) -> None:
+        # Version guard: commit-row versions bump exactly when a row in
+        # this node's copy changes, so an unchanged version means every
+        # ``hb != last_hb`` test below would fail — skipping the scan
+        # records exactly the same (hb, seen_at) pairs.
+        ver = self._commit_sst._versions[self.node_id]
+        if ver == self._hb_seen_version:
+            return
+        self._hb_seen_version = ver
         now = self.engine.now
+        commit_copy = self._commit_sst.copies[self.node_id]
+        peer_hb = self._peer_hb
         for p in self.peers:
             if p == self.node_id:
                 continue
-            row: CommitRow = self._commit_sst.read(self.node_id, p)
+            row: CommitRow = commit_copy[p]
             hb = row.heartbeat if row is not None else 0
-            last_hb, _ = self._peer_hb.get(p, (-1, 0))
+            last_hb, _ = peer_hb.get(p, (-1, 0))
             if hb != last_hb:
-                self._peer_hb[p] = (hb, now)
+                peer_hb[p] = (hb, now)
 
     def _check_leader_alive(self) -> None:
         self._observe_peer_heartbeats()

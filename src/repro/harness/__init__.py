@@ -9,13 +9,21 @@ One module per paper artifact:
   DESIGN.md §4 (wire efficiency, slow-node tolerance, slot-release
   policy, election mechanisms).
 
+Cross-cutting plumbing:
+
+- :mod:`repro.harness.parallel` — the process-pool sweep runner every
+  driver fans its independent points through;
+- :mod:`repro.harness.hostperf` — wall-clock timing of a fixed
+  reference workload (``BENCH_host_perf.json``).
+
 The benchmarks in ``benchmarks/`` are thin wrappers over these drivers.
 """
 
 from repro.harness.factory import SYSTEMS, build_system, settle
 from repro.harness.fig8 import fig8_sweep, fig8_point, Fig8Point
-from repro.harness.table1 import table1_elections
-from repro.harness.fig9 import fig9_ycsb
+from repro.harness.parallel import default_workers, run_points
+from repro.harness.table1 import table1_elections, table1_all
+from repro.harness.fig9 import fig9_grid, fig9_ycsb
 from repro.harness.render import render_table, render_series
 
 __all__ = [
@@ -25,7 +33,11 @@ __all__ = [
     "fig8_sweep",
     "fig8_point",
     "Fig8Point",
+    "run_points",
+    "default_workers",
     "table1_elections",
+    "table1_all",
+    "fig9_grid",
     "fig9_ycsb",
     "render_table",
     "render_series",

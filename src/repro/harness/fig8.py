@@ -80,30 +80,44 @@ def fig8_sweep(system_name: str, n: int, message_size: int, seed: int = 1,
                max_window: int = 1024, min_completions: int = 400,
                saturation_gain: float = 1.08,
                latency_blowup: float = 12.0,
-               substrate_params: Optional[CostModel] = None) -> list[Fig8Point]:
+               substrate_params: Optional[CostModel] = None,
+               workers: int = 1) -> list[Fig8Point]:
     """Sweep windows 1, 2, 4, ... until saturation (§4.1's load sweep).
 
     Stops when doubling the window no longer buys ``saturation_gain``
     in throughput, or when latency exceeds ``latency_blowup`` x the
     floor — the region past the knee carries no information.
+
+    With ``workers > 1`` the next ``workers`` windows are evaluated
+    *speculatively* in parallel (each point is an independent,
+    deterministic simulation) and the sequential stopping rule is then
+    applied to them in window order — the returned points are identical
+    to a ``workers=1`` sweep; past-the-knee speculation is discarded.
     """
+    from repro.harness.parallel import run_points
+
     points: list[Fig8Point] = []
     floor_latency: Optional[float] = None
     window = 1
+    wave_size = max(1, int(workers))
     while window <= max_window:
-        p = fig8_point(system_name, n, message_size, window, seed=seed,
-                       min_completions=min_completions,
-                       substrate_params=substrate_params)
-        points.append(p)
-        if floor_latency is None and p.completed > 0:
-            floor_latency = p.mean_latency_us
-        if len(points) >= 3 and points[-2].throughput_mb_s > 0:
-            gain = p.throughput_mb_s / points[-2].throughput_mb_s
-            blowup = (floor_latency is not None
-                      and p.mean_latency_us > latency_blowup * floor_latency)
-            if gain < saturation_gain or blowup:
-                break
-        window *= 2
+        wave = []
+        w = window
+        while w <= max_window and len(wave) < wave_size:
+            wave.append((system_name, n, message_size, w, seed,
+                         min_completions, 400.0, substrate_params))
+            w *= 2
+        window = w
+        for p in run_points(fig8_point, wave, workers=workers):
+            points.append(p)
+            if floor_latency is None and p.completed > 0:
+                floor_latency = p.mean_latency_us
+            if len(points) >= 3 and points[-2].throughput_mb_s > 0:
+                gain = p.throughput_mb_s / points[-2].throughput_mb_s
+                blowup = (floor_latency is not None
+                          and p.mean_latency_us > latency_blowup * floor_latency)
+                if gain < saturation_gain or blowup:
+                    return points
     return points
 
 

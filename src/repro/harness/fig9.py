@@ -79,10 +79,27 @@ def fig9_point(system_name: str, n: int, seed: int = 1, window: int = 96,
                      completed=res.completed)
 
 
+def fig9_grid(sizes=(3, 5, 7, 9), systems=FIG9_SYSTEMS, seed: int = 1,
+              workers: int = 1, min_completions: int = 500) -> list[Fig9Point]:
+    """Evaluate every (system, n) cell — independent simulations, fanned
+    across ``workers`` processes — in deterministic grid order."""
+    from repro.harness.parallel import run_points
+
+    cells = [(name, n, seed, 96, min_completions)
+             for name in systems for n in sizes]
+    return run_points(fig9_point, cells, workers=workers)
+
+
 def fig9_ycsb(sizes=(3, 5, 7, 9), systems=FIG9_SYSTEMS, seed: int = 1,
-              **kwargs) -> dict[str, dict[int, float]]:
+              workers: int = 1, **kwargs) -> dict[str, dict[int, float]]:
     """The full Fig. 9 grid: ``{system: {n: ops/sec}}``."""
-    out: dict[str, dict[int, float]] = {}
+    if workers > 1 and not kwargs:
+        pts = fig9_grid(sizes, systems, seed=seed, workers=workers)
+        out: dict[str, dict[int, float]] = {name: {} for name in systems}
+        for p in pts:
+            out[p.system][p.n] = p.ops_per_sec
+        return out
+    out = {}
     for name in systems:
         out[name] = {}
         for n in sizes:

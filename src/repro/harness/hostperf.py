@@ -1,0 +1,196 @@
+"""Wall-clock (host-side) performance harness for the simulator.
+
+Simulated time is a pure function of seed and configuration; *wall-clock*
+time is how long the host needs to execute that simulation, and is the
+quantity every Fig. 8 / Fig. 9 / Table 1 regeneration pays dozens of
+times over.  This module pins a **fixed reference workload** — one
+mid-size Fig. 8 point per substrate backend, fixed seed — and times it,
+so host-side optimizations can be quantified and tracked in a checked-in
+``BENCH_host_perf.json`` file.
+
+Two invariants are enforced alongside the timing:
+
+- **behavioral**: the reference points' simulated results (throughput,
+  latencies, completions, wire totals) are recorded in the BENCH file
+  and re-checked on every run — they are machine-independent, so any
+  drift means an optimization changed simulated behaviour, not just
+  host speed (the per-protocol golden fingerprint tests guard the same
+  property at finer grain);
+- **parallel == sequential**: a small Fig. 8 sweep is rendered through
+  :func:`repro.harness.parallel.run_points` with ``workers=1`` and
+  ``workers=N`` and the artifact text must match byte for byte.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.harness.hostperf --capture-baseline
+    PYTHONPATH=src python -m repro.harness.hostperf            # fill "after"
+    PYTHONPATH=src python -m repro.harness.hostperf --check    # CI gate
+
+The "before" numbers are only meaningful relative to "after" numbers
+measured on the same machine; the behavioral reference values are
+meaningful everywhere.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from dataclasses import asdict
+from typing import Any, Optional
+
+from repro.harness.fig8 import fig8_point
+
+SCHEMA = "repro.host_perf/v1"
+
+DEFAULT_PATH = pathlib.Path("BENCH_host_perf.json")
+
+#: The fixed reference workload: one mid-size Fig. 8 point per backend.
+#: Frozen — editing these invalidates every recorded number in the BENCH
+#: file (capture a fresh baseline if you must change them).
+REFERENCE_POINTS: dict[str, dict[str, Any]] = {
+    "rdma": dict(system_name="acuerdo", n=3, message_size=1000, window=32,
+                 seed=3, min_completions=3000, max_sim_ms=2000.0),
+    "tcp": dict(system_name="zookeeper", n=3, message_size=1000, window=32,
+                seed=3, min_completions=2000, max_sim_ms=4000.0),
+}
+
+#: Keys of the sweep-equivalence check workload (kept tiny: it runs the
+#: sweep twice).
+SWEEP_CHECK = dict(system_name="acuerdo", n=3, message_size=100, seed=5,
+                   min_completions=60, max_window=8)
+
+
+def run_reference_point(backend: str):
+    """Execute the reference workload for one backend; returns Fig8Point."""
+    return fig8_point(**REFERENCE_POINTS[backend])
+
+
+def measure(repeats: int = 3) -> dict[str, dict[str, Any]]:
+    """Best-of-``repeats`` wall-clock seconds per backend, plus the
+    simulated result (identical across repeats — it is asserted)."""
+    out: dict[str, dict[str, Any]] = {}
+    for backend in sorted(REFERENCE_POINTS):
+        best = float("inf")
+        point = None
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            p = run_reference_point(backend)
+            best = min(best, time.perf_counter() - t0)
+            if point is None:
+                point = p
+            elif point != p:
+                raise AssertionError(
+                    f"{backend}: reference point not deterministic across repeats")
+        out[backend] = {"seconds": round(best, 4), "point": asdict(point)}
+    return out
+
+
+def sweep_equivalence(workers: int = 4) -> dict[str, Any]:
+    """Render the same small Fig. 8 sweep with ``workers=1`` and
+    ``workers=N``; the artifact text must be identical."""
+    from repro.harness.fig8 import fig8_sweep
+    from repro.harness.render import render_table
+
+    def render(workers: int) -> str:
+        pts = fig8_sweep(workers=workers, **SWEEP_CHECK)
+        rows = [[p.window, round(p.throughput_mb_s, 3),
+                 round(p.mean_latency_us, 1), round(p.p99_latency_us, 1),
+                 p.completed, p.wire_bytes] for p in pts]
+        return render_table(
+            "host-perf sweep equivalence workload",
+            ["window", "tput_MB_s", "mean_lat_us", "p99_lat_us",
+             "completed", "wire_bytes"], rows)
+
+    seq, par = render(1), render(workers)
+    return {"workers": workers, "identical_artifacts": seq == par,
+            "artifact_lines": len(seq.splitlines())}
+
+
+def _speedups(before: dict, after: dict) -> dict[str, float]:
+    out = {}
+    total_b = total_a = 0.0
+    for backend in sorted(REFERENCE_POINTS):
+        b, a = before[backend]["seconds"], after[backend]["seconds"]
+        total_b += b
+        total_a += a
+        out[backend] = round(b / a, 3) if a else float("inf")
+    out["total"] = round(total_b / total_a, 3) if total_a else float("inf")
+    return out
+
+
+def _reference_drift(recorded: dict, current: dict) -> list[str]:
+    """Backends whose simulated reference results changed (machine-
+    independent — any entry here is a behavioral regression)."""
+    return [b for b in sorted(REFERENCE_POINTS)
+            if recorded[b]["point"] != current[b]["point"]]
+
+
+def write_bench(path: pathlib.Path, repeats: int = 3,
+                capture_baseline: bool = False, check: bool = False,
+                sweep_workers: int = 4) -> int:
+    """Measure and (re)write the BENCH file; returns a process exit code."""
+    existing: Optional[dict] = None
+    if path.exists():
+        existing = json.loads(path.read_text())
+    current = measure(repeats=repeats)
+
+    doc: dict[str, Any] = {
+        "schema": SCHEMA,
+        "workload": {k: dict(v) for k, v in REFERENCE_POINTS.items()},
+        "units": "wall-clock seconds, best of repeats, per reference point",
+        "repeats": repeats,
+    }
+    failures: list[str] = []
+
+    if capture_baseline or existing is None or "before" not in existing:
+        doc["before"] = current
+        doc["after"] = None
+        doc["speedup"] = None
+    else:
+        doc["before"] = existing["before"]
+        doc["after"] = current
+        doc["speedup"] = _speedups(existing["before"], current)
+        drift = _reference_drift(existing["before"], current)
+        if drift:
+            failures.append(
+                f"reference fingerprints drifted for backends {drift}: "
+                "simulated behaviour changed, not just host speed")
+
+    if not capture_baseline:
+        eq = sweep_equivalence(workers=sweep_workers)
+        doc["sweep_scaling"] = eq
+        if not eq["identical_artifacts"]:
+            failures.append(
+                f"fig8 sweep with workers={sweep_workers} produced a "
+                "different artifact than workers=1")
+
+    path.write_text(json.dumps(doc, indent=2, sort_keys=False) + "\n")
+    for f in failures:
+        print(f"FAIL: {f}", file=sys.stderr)
+    print(f"wrote {path}")
+    if doc.get("speedup"):
+        print(f"speedup vs baseline: {doc['speedup']}")
+    return 1 if (check and failures) else 0
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--out", type=pathlib.Path, default=DEFAULT_PATH)
+    ap.add_argument("--repeats", type=int, default=3)
+    ap.add_argument("--capture-baseline", action="store_true",
+                    help="record the current tree's timing as 'before'")
+    ap.add_argument("--check", action="store_true",
+                    help="exit non-zero on reference drift or a "
+                         "parallel/sequential artifact mismatch")
+    ap.add_argument("--sweep-workers", type=int, default=4)
+    args = ap.parse_args(argv)
+    return write_bench(args.out, repeats=args.repeats,
+                       capture_baseline=args.capture_baseline,
+                       check=args.check, sweep_workers=args.sweep_workers)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

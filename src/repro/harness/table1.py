@@ -83,10 +83,15 @@ def table1_elections(n: int, seed: int = 1, kills: int = 6,
 
 
 def table1_all(sizes=(3, 5, 7, 9), seed: int = 1,
-               kills_per_size: int = 6) -> dict[int, float]:
-    """Average election duration (ms) per replica count — the table row."""
-    out: dict[int, float] = {}
-    for n in sizes:
-        durations = table1_elections(n, seed=seed, kills=kills_per_size)
-        out[n] = sum(durations) / len(durations) if durations else float("nan")
-    return out
+               kills_per_size: int = 6, workers: int = 1) -> dict[int, float]:
+    """Average election duration (ms) per replica count — the table row.
+
+    Each replica count is an independent simulation; ``workers`` fans
+    them across processes without changing any measured duration."""
+    from repro.harness.parallel import run_points
+
+    runs = run_points(table1_elections,
+                      [(n, seed, kills_per_size) for n in sizes],
+                      workers=workers)
+    return {n: (sum(d) / len(d) if d else float("nan"))
+            for n, d in zip(sizes, runs)}

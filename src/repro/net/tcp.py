@@ -81,6 +81,11 @@ class TcpEndpoint(Endpoint):
         self.received = 0
         self.tx_bytes = 0
         self.retransmits = 0
+        # Cost models are frozen after substrate build, so the per-message
+        # charges can be snapshotted once instead of chased through
+        # self.params on every deliver/drain.
+        self._recv_cpu_ns = params.kernel_recv_cpu_ns
+        self._wakeup_ns = params.wakeup_latency_ns
 
     @property
     def node_id(self) -> int:
@@ -93,7 +98,7 @@ class TcpEndpoint(Endpoint):
             return
         self.inbox.append((src, payload, size))
         # epoll/interrupt: wake the process (RDMA receivers never get this).
-        self.process.wake(self.params.wakeup_latency_ns)
+        self.process.wake(self._wakeup_ns)
 
     def drain(self, max_batch: Optional[int] = None) -> list[tuple[int, Any]]:
         """Pop pending messages, charging recv syscall CPU per message.
@@ -104,12 +109,15 @@ class TcpEndpoint(Endpoint):
         """
         out: list[tuple[int, Any]] = []
         cpu = self.process.cpu
-        while self.inbox and (max_batch is None or len(out) < max_batch):
-            src, payload, _size = self.inbox.popleft()
+        now = self.engine.now
+        recv_cpu_ns = self._recv_cpu_ns
+        speed = cpu.speed_factor
+        inbox = self.inbox
+        while inbox and (max_batch is None or len(out) < max_batch):
+            src, payload, _size = inbox.popleft()
             out.append((src, payload))
             self.received += 1
-            cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(
-                self.params.kernel_recv_cpu_ns * cpu.speed_factor)
+            cpu.busy_until = max(cpu.busy_until, now) + int(recv_cpu_ns * speed)
         return out
 
 
@@ -123,6 +131,13 @@ class TcpNetwork(Substrate):
         self.endpoints: dict[int, TcpEndpoint] = {}
         self._last_delivery: dict[tuple[int, int], int] = {}
         self._loss_rng = engine.rng("tcp.loss")
+        # Frozen-cost snapshots for the per-message send path.  The sum
+        # is int + int, so precomputing it cannot change any timestamp.
+        p = self.params
+        self._send_cpu_ns = p.kernel_send_cpu_ns
+        self._post_wire_ns = p.propagation_ns + p.stack_latency_ns
+        self._loss_prob = p.loss_prob
+        self._rto_ns = p.rto_ns
 
     def attach(self, process: Process) -> TcpEndpoint:
         """Create this process's TCP stack and register it for delivery."""
@@ -145,15 +160,15 @@ class TcpNetwork(Substrate):
             return
         cpu = src_ep.process.cpu
         cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(
-            p.kernel_send_cpu_ns * cpu.speed_factor)
+            self._send_cpu_ns * cpu.speed_factor)
         start = max(cpu.busy_until, src_ep.tx_free_at)
         tx_done = start + p.tx_serialization_ns(size_bytes)
         src_ep.tx_free_at = tx_done
         src_ep.sent += 1
         src_ep.tx_bytes += p.wire_bytes(size_bytes)
-        deliver_at = tx_done + p.propagation_ns + p.stack_latency_ns
-        if p.loss_prob and self._loss_rng.random() < p.loss_prob:
-            deliver_at += p.rto_ns
+        deliver_at = tx_done + self._post_wire_ns
+        if self._loss_prob and self._loss_rng.random() < self._loss_prob:
+            deliver_at += self._rto_ns
             src_ep.retransmits += 1
         key = (src, dst)
         deliver_at = max(deliver_at, self._last_delivery.get(key, 0) + 1)

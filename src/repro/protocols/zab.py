@@ -109,8 +109,9 @@ class ZabNode(Process):
     # ------------------------------------------------------------------ poll
 
     def on_poll(self) -> None:
-        for src, msg in self.ep.drain():
-            self._dispatch(src, msg)
+        if self.ep.inbox:
+            for src, msg in self.ep.drain():
+                self._dispatch(src, msg)
         if self.state == self.LEADING:
             self._leader_step()
         elif self.state == self.FOLLOWING:
@@ -163,10 +164,18 @@ class ZabNode(Process):
         s = self.acks.setdefault(zxid, set())
         s.add(voter)
         if len(s) >= self.cluster.quorum and zxid > self.committed_zxid:
-            # Commit everything up to zxid in order.
-            for (z, _p, _sz) in self.log:
-                if self.committed_zxid < z <= zxid:
-                    if len(self.acks.get(z, ())) < self.cluster.quorum and z != zxid:
+            # Commit everything up to zxid in order.  The log is
+            # append-only in zxid order and every entry below
+            # delivered_upto is already committed, so the quorum check
+            # only needs the (committed_zxid, zxid] window — scanning
+            # from the front again would be quadratic under load.
+            log, acks, quorum = self.log, self.acks, self.cluster.quorum
+            for i in range(self.delivered_upto, len(log)):
+                z = log[i][0]
+                if z > zxid:
+                    break
+                if self.committed_zxid < z:
+                    if len(acks.get(z, ())) < quorum and z != zxid:
                         return  # earlier proposal not yet quorum-acked
             self.committed_zxid = zxid
             self._bcast(("COMMIT", zxid), 16)

@@ -86,6 +86,8 @@ class RdmaFabric(Substrate):
     def __init__(self, engine: Engine, node_ids: Iterable[int],
                  params: Optional[RdmaParams] = None):
         super().__init__(engine, params or RdmaParams())
+        # Frozen-cost snapshot: the only send-side CPU RDMA charges.
+        self._doorbell_cpu_ns = self.params.doorbell_cpu_ns
         self.nics: dict[int, Nic] = {}
         self.qps: dict[tuple[int, int], QueuePair] = {}
         self._bulk_qps: dict[tuple[int, int], QueuePair] = {}
@@ -177,10 +179,10 @@ class RdmaFabric(Substrate):
         ordering is only guaranteed within a lane, so structures that
         rely on FIFO (rings, SSTs) must keep all their writes on one
         lane."""
-        if self._blocked(src, dst):
+        if self._partition is not None and self._blocked(src, dst):
             self._drop_partitioned()
             return
-        qp = self.bulk_qp(src, dst) if lane == "bulk" else self.qp(src, dst)
+        qp = self.qps[(src, dst)] if lane != "bulk" else self.bulk_qp(src, dst)
         qp.post_write(region, rkey, key, value, size_bytes,
                       signaled=signaled, wr_id=wr_id, earliest_ns=earliest_ns)
 
@@ -198,7 +200,7 @@ class RdmaFabric(Substrate):
             return
         cpu = src_ep.process.cpu
         cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(
-            self.params.doorbell_cpu_ns * cpu.speed_factor)
+            self._doorbell_cpu_ns * cpu.speed_factor)
         self.write(src, dst, dst_ep._region, dst_ep._rkey, src, payload,
                    size_bytes, earliest_ns=cpu.busy_until)
         src_ep.sent += 1

@@ -71,6 +71,9 @@ class Nic:
         self.tx_bytes: int = 0
         self.tx_msgs: int = 0
         self.powered = True
+        # Cost models are frozen after substrate build; snapshot the
+        # per-verb charge so occupy_tx skips the params indirection.
+        self._nic_tx_ns = params.nic_tx_ns
 
     def occupy_tx(self, payload_bytes: int, earliest_ns: int = 0,
                   lane: str = "control") -> int:
@@ -82,7 +85,7 @@ class Nic:
         selects the QoS class: ``"bulk"`` transfers queue separately so
         control traffic never waits behind them."""
         p = self.params
-        start = max(self.engine.now, earliest_ns) + p.nic_tx_ns
+        start = max(self.engine.now, earliest_ns) + self._nic_tx_ns
         bulk = lane == "bulk"
         start = max(start, self.tx_bulk_free_at if bulk else self.tx_free_at)
         done = start + p.tx_serialization_ns(payload_bytes)

@@ -44,6 +44,13 @@ class QueuePair:
         self.posted = 0
         self.delivered = 0
         self.retransmits = 0
+        # Frozen-cost snapshots for the post_write hot path.  The wire
+        # sum is int + int, so precomputing it cannot move a timestamp.
+        self._post_wire_ns = params.propagation_ns + params.nic_rx_ns
+        self._loss_prob = params.loss_prob
+        self._retransmit_timeout_ns = params.retransmit_timeout_ns
+        self._max_send_queue = params.max_send_queue
+        self._completion_ns = params.completion_ns
 
     # ----------------------------------------------------------------- write
 
@@ -64,20 +71,19 @@ class QueuePair:
         """
         if not self.src.powered:
             return  # crashed host: nothing leaves
-        p = self.params
-        if self._outstanding >= p.max_send_queue:
+        if self._outstanding >= self._max_send_queue:
             raise SendQueueFullError(
                 f"QP {self.src.node_id}->{self.dst.node_id}: "
-                f"{self._outstanding} outstanding WQEs (max {p.max_send_queue})")
+                f"{self._outstanding} outstanding WQEs (max {self._max_send_queue})")
         self.posted += 1
         self._outstanding += 1
 
         tx_done = self.src.occupy_tx(size_bytes, earliest_ns, lane=self.lane)
-        deliver_at = tx_done + p.propagation_ns + p.nic_rx_ns
-        if p.loss_prob and self._loss_rng.random() < p.loss_prob:
+        deliver_at = tx_done + self._post_wire_ns
+        if self._loss_prob and self._loss_rng.random() < self._loss_prob:
             # Go-back-N: this packet (and, through the FIFO floor below,
             # everything behind it) arrives a retransmit-timeout late.
-            deliver_at += p.retransmit_timeout_ns
+            deliver_at += self._retransmit_timeout_ns
             self.retransmits += 1
         # RC FIFO guarantee: never deliver out of order.
         deliver_at = max(deliver_at, self._last_delivery_at + 1)
@@ -88,7 +94,7 @@ class QueuePair:
             covers = self._unsignaled_run + 1
             self._unsignaled_run = 0
             posted_at = self.engine.now
-            self.engine.schedule_at(deliver_at + p.completion_ns, self._complete,
+            self.engine.schedule_at(deliver_at + self._completion_ns, self._complete,
                                     wr_id, covers, posted_at)
         else:
             self._unsignaled_run += 1

@@ -178,33 +178,34 @@ class RingBuffer:
             self.stalls += 1
             return None
         seq = self.next_seq
-        self.next_seq += 1
-        dests = list(targets) if targets is not None else list(self._receivers)
+        self.next_seq = seq + 1
+        # Iterating the receiver dict directly yields keys in the same
+        # insertion order list() would, without the per-send allocation.
+        dests = targets if targets is not None else self._receivers
+        sender = self.sender
+        two_writes = self.writes_per_message == 2
+        write = self.fabric.write
+        since = self._since_signal
         for r in dests:
-            rr = self._receivers[r]
-            if r == self.sender:
+            if r == sender:
                 # Local mirror: plain store, visible at the next poll.
+                rr = self._receivers[r]
                 rr._on_data(seq, payload, size_bytes)
-                if self.writes_per_message == 2:
+                if two_writes:
                     rr._on_counter(seq)
                 continue
             region, rkey = self._regions[r]
-            signaled = self._bump_signal(r)
-            self.fabric.write(self.sender, r, region, rkey, ("data", seq), payload,
-                              size_bytes, signaled=signaled, wr_id=("ring", seq),
-                              earliest_ns=earliest_ns)
-            if self.writes_per_message == 2:
+            count = since[r] + 1
+            signaled = count >= self.signal_interval
+            since[r] = 0 if signaled else count
+            write(sender, r, region, rkey, ("data", seq), payload,
+                  size_bytes, signaled=signaled, wr_id=("ring", seq),
+                  earliest_ns=earliest_ns)
+            if two_writes:
                 # Separate 8-byte counter update (still >= 80 wire bytes).
-                self.fabric.write(self.sender, r, region, rkey, ("counter", seq), None,
-                                  8, signaled=False, earliest_ns=earliest_ns)
+                write(sender, r, region, rkey, ("counter", seq), None,
+                      8, signaled=False, earliest_ns=earliest_ns)
         return seq
-
-    def _bump_signal(self, receiver: int) -> bool:
-        self._since_signal[receiver] += 1
-        if self._since_signal[receiver] >= self.signal_interval:
-            self._since_signal[receiver] = 0
-            return True
-        return False
 
     # -------------------------------------------------------------- release
 

@@ -45,6 +45,7 @@ class SharedStateTable:
         self._versions: dict[int, int] = {m: 0 for m in self.members}
         self._regions: dict[int, tuple[Any, int]] = {}
         self._since_signal: dict[tuple[int, int], int] = {}
+        self._wr_id = ("sst", name)  # one shared tuple, not one per push
         self.pushes = 0
         for m in self.members:
             region = self.fabric.register(
@@ -81,20 +82,19 @@ class SharedStateTable:
         with one one-sided write each (``push_mine`` / ``push_mine_to``).
         """
         value = self.copies[node][node]
-        dests = list(targets) if targets is not None else \
-            [m for m in self.members if m != node]
+        dests = targets if targets is not None else self.members
+        since = self._since_signal
         for t in dests:
             if t == node:
                 continue
             region, rkey = self._regions[t]
             k = (node, t)
-            self._since_signal[k] = self._since_signal.get(k, 0) + 1
-            signaled = self._since_signal[k] >= self.signal_interval
-            if signaled:
-                self._since_signal[k] = 0
+            count = since.get(k, 0) + 1
+            signaled = count >= self.signal_interval
+            since[k] = 0 if signaled else count
             self.fabric.write(node, t, region, rkey, node, value,
                               self.row_size_bytes, signaled=signaled,
-                              wr_id=("sst", self.name), earliest_ns=earliest_ns)
+                              wr_id=self._wr_id, earliest_ns=earliest_ns)
             self.pushes += 1
 
     def set_and_push(self, node: int, value: Any,

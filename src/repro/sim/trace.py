@@ -20,12 +20,22 @@ class Tracer:
         self.samples: dict[str, list[float]] = {}
         self.capture_events = capture_events
         self.events: list[tuple[int, str, Any]] = []
+        # Sorted-series cache for percentile(): name -> (length, sorted).
+        # Series are append-only (sample/merge extend, reset clears), so a
+        # stale entry is detectable by length alone — sample() pays nothing
+        # to keep the cache honest.
+        self._sorted: dict[str, tuple[int, list[float]]] = {}
 
     # ------------------------------------------------------------- counters
 
     def count(self, name: str, inc: int = 1) -> None:
         """Increment counter ``name`` by ``inc``."""
-        self.counters[name] = self.counters.get(name, 0) + inc
+        # try/except beats dict.get on the hot path: existing keys (the
+        # overwhelming majority of increments) take the no-branch fast path.
+        try:
+            self.counters[name] += inc
+        except KeyError:
+            self.counters[name] = inc
 
     def get(self, name: str) -> int:
         """Current value of counter ``name`` (0 if never incremented)."""
@@ -35,7 +45,10 @@ class Tracer:
 
     def sample(self, name: str, value: float) -> None:
         """Append ``value`` to the sample series ``name``."""
-        self.samples.setdefault(name, []).append(value)
+        try:
+            self.samples[name].append(value)
+        except KeyError:
+            self.samples[name] = [value]
 
     def series(self, name: str) -> list[float]:
         """Return the (possibly empty) sample series ``name``."""
@@ -47,11 +60,22 @@ class Tracer:
         return sum(s) / len(s) if s else math.nan
 
     def percentile(self, name: str, p: float) -> float:
-        """Nearest-rank percentile of series ``name`` (p in [0, 100])."""
+        """Nearest-rank percentile of series ``name`` (p in [0, 100]).
+
+        The sorted series is cached, so percentile fan-outs (p50/p99/p999
+        over the same series) sort once instead of once per call.  The
+        cache invalidates itself whenever the series length changes
+        (sample, merge) and is dropped wholesale by :meth:`reset`.
+        """
         s = self.samples.get(name)
         if not s:
             return math.nan
-        ordered = sorted(s)
+        cached = self._sorted.get(name)
+        if cached is None or cached[0] != len(s):
+            ordered = sorted(s)
+            self._sorted[name] = (len(s), ordered)
+        else:
+            ordered = cached[1]
         k = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
         return ordered[k]
 
@@ -82,6 +106,7 @@ class Tracer:
         self.counters.clear()
         self.samples.clear()
         self.events.clear()
+        self._sorted.clear()
 
     def summary(self, names: Iterable[str] | None = None) -> dict[str, float]:
         """Dict of ``series -> mean`` for quick inspection."""

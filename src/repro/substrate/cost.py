@@ -35,6 +35,14 @@ class CostModel:
     attributes below are fallbacks so the shared helpers work even when
     a backend has no use for a knob (e.g. TCP has no minimum wire
     message, so ``min_wire_bytes`` stays 0).
+
+    **Freeze invariant**: cost models are never mutated after the
+    substrate is built (verified by the conformance tests and relied on
+    throughout the backends).  That is what makes it safe for the wire
+    maths below to memoise per payload size and for backends to snapshot
+    fields into plain attributes at construction time — workloads send a
+    handful of distinct sizes millions of times, so both sides of the
+    bargain pay off.
     """
 
     #: short backend tag ("rdma", "tcp", ...), mirrored by the substrate
@@ -47,14 +55,34 @@ class CostModel:
     loss_prob: float = 0.0
 
     # ------------------------------------------------------------ wire maths
+    #
+    # Both helpers are memoised per payload size (the memo lives in the
+    # instance __dict__, invisible to dataclass eq/repr/replace).  The
+    # cached values are exactly what the open-coded expressions produce,
+    # so simulated timestamps are bit-identical with or without the memo.
 
     def wire_bytes(self, payload_bytes: int) -> int:
         """Bytes actually serialised on the link for one payload."""
-        return max(self.min_wire_bytes, payload_bytes + self.header_bytes)
+        try:
+            return self._wire_memo[payload_bytes][0]
+        except (AttributeError, KeyError):
+            return self._memoize_wire(payload_bytes)[0]
 
     def tx_serialization_ns(self, payload_bytes: int) -> int:
         """Time the egress link is occupied by one message."""
-        return max(1, int(self.wire_bytes(payload_bytes) / self.link_bandwidth_bytes_per_ns))
+        try:
+            return self._wire_memo[payload_bytes][1]
+        except (AttributeError, KeyError):
+            return self._memoize_wire(payload_bytes)[1]
+
+    def _memoize_wire(self, payload_bytes: int) -> tuple[int, int]:
+        wire = max(self.min_wire_bytes, payload_bytes + self.header_bytes)
+        entry = (wire, max(1, int(wire / self.link_bandwidth_bytes_per_ns)))
+        try:
+            self._wire_memo[payload_bytes] = entry
+        except AttributeError:
+            self._wire_memo = {payload_bytes: entry}
+        return entry
 
     # ----------------------------------------------------- uniform accessors
 
