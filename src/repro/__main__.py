@@ -7,9 +7,11 @@ Usage::
     python -m repro table1 [--sizes 3 5 7 9]
     python -m repro fig9 [--sizes 3 5 7 9]
     python -m repro elections --nodes 5 [--kills 4]
+    python -m repro trace --system acuerdo [--duration-ms 5] [--out t.json]
 
 Every subcommand prints the same text tables the benchmarks archive
-under ``results/``.
+under ``results/``; ``trace`` additionally writes a span trace (Chrome
+trace event JSON, loadable in Perfetto, or a plain-JSON timeline).
 """
 
 from __future__ import annotations
@@ -19,16 +21,18 @@ import sys
 
 
 def _cmd_shootout(args: argparse.Namespace) -> int:
-    from repro.harness import SYSTEMS, build_system, render_table, settle
+    from repro.harness import RunSpec, SYSTEMS, build_from_spec, render_table, settle
     from repro.harness.factory import EXTENSION_SYSTEMS
-    from repro.sim import Engine, ms
+    from repro.sim import ms
     from repro.workloads.closedloop import ClosedLoopClient
 
     names = args.systems or (SYSTEMS + (EXTENSION_SYSTEMS if args.extensions else []))
     rows = []
     for name in names:
-        engine = Engine(seed=args.seed)
-        system = build_system(name, engine, args.nodes)
+        spec = RunSpec(system=name, n=args.nodes, payload_bytes=args.size,
+                       window=args.window, seed=args.seed)
+        engine = spec.make_engine()
+        system = build_from_spec(spec, engine)
         settle(system)
         client = ClosedLoopClient(system, window=args.window,
                                   message_size=args.size, warmup=30)
@@ -123,6 +127,45 @@ def _cmd_elections(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+    import pathlib
+
+    from repro.harness.render import render_table
+    from repro.harness.runspec import RunSpec
+    from repro.obs import capture_run
+    from repro.obs.export import validate_chrome_trace, validate_timeline
+
+    spec = RunSpec(system=args.system, n=args.nodes, payload_bytes=args.size,
+                   window=args.window, workload=args.workload,
+                   duration_ms=args.duration_ms, seed=args.seed,
+                   capture_spans=True)
+    res = capture_run(spec)
+    if args.format == "chrome":
+        doc = res.chrome()
+        validate_chrome_trace(doc)
+    else:
+        doc = res.timeline()
+        validate_timeline(doc)
+    out = pathlib.Path(args.out) if args.out else \
+        pathlib.Path(f"trace_{spec.system}_{args.format}.json")
+    out.write_text(json.dumps(doc) + "\n")
+
+    rec = res.recorder
+    means = rec.phase_means()
+    rows = [[phase, round(means[phase] / 1000.0, 3)]
+            for phase in sorted(means, key=means.get, reverse=True)]
+    print(render_table(
+        f"Critical-path anatomy: {spec.system}, {spec.n} nodes, "
+        f"{spec.payload_bytes} B, window {spec.window} "
+        f"({len(rec.messages)} messages traced)",
+        ["phase", "mean_us"], rows))
+    print(f"wrote {out} ({len(rec.messages)} spans, "
+          f"{len(rec.nic_events)} NIC events, "
+          f"{len(rec.process_events)} process events)")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The ``python -m repro`` argument parser (one subcommand per experiment)."""
     parser = argparse.ArgumentParser(
@@ -164,6 +207,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--nodes", type=int, default=5)
     p.add_argument("--kills", type=int, default=4)
     p.set_defaults(fn=_cmd_elections)
+
+    p = sub.add_parser("trace", help="span-trace one run (Perfetto JSON)")
+    p.add_argument("--system", default="acuerdo")
+    p.add_argument("--nodes", type=int, default=3)
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--window", type=int, default=8)
+    p.add_argument("--workload", choices=["closedloop", "openloop", "ycsb"],
+                   default="closedloop")
+    p.add_argument("--duration-ms", type=float, default=5.0)
+    p.add_argument("--format", choices=["chrome", "timeline"],
+                   default="chrome")
+    p.add_argument("--out", default=None,
+                   help="output path (default trace_<system>_<format>.json)")
+    p.set_defaults(fn=_cmd_trace)
     return parser
 
 

@@ -100,6 +100,7 @@ class AcuerdoCluster(BroadcastSystem):
         ldr = self.leader_id()
         if ldr is None:
             return False
+        self.obs_begin(payload)
         self.nodes[ldr].client_broadcast(payload, size_bytes, on_commit)
         return True
 

@@ -205,6 +205,12 @@ class AcuerdoNode(Process):
                 self.engine.trace.count("acuerdo.ring_full")
                 return
             self._charge(self.cfg.broadcast_cpu_ns)
+            obs = self.engine.obs
+            if obs is not None:
+                # The wire object for this payload is the Message; bind it
+                # so the QP's nic_tx/wire/deposit milestones attribute.
+                obs.bind(msg, payload)
+                obs.mark(payload, "propose", self.engine.now)
             seq = self._ring.try_send(msg, size, earliest_ns=self.cpu.busy_until)
             self.pending_client.pop(0)
             self.Count += 1
@@ -264,7 +270,12 @@ class AcuerdoNode(Process):
             self.Accepted = msg.hdr
             self._accept_sst.write_local(self.node_id, msg.hdr)
             self.engine.trace.count("acuerdo.accept")
-            return e.leader != self.node_id
+            if e.leader != self.node_id:
+                obs = self.engine.obs
+                if obs is not None:
+                    obs.mark(msg, "accept", self.engine.now)
+                return True
+            return False
         elif self.E_new <= e:
             self._accept_diff(msg)
         else:
@@ -351,6 +362,9 @@ class AcuerdoNode(Process):
 
     def _deliver(self, m: Message) -> None:
         self.engine.trace.count("acuerdo.commit")
+        obs = self.engine.obs
+        if obs is not None and m.payload is not NOOP:
+            obs.mark(m, "commit", self.engine.now)
         cb = self._on_commit_cb.pop(m.hdr, None)
         if cb is not None:
             # The client-visible acknowledgment leaves once the commit

@@ -11,6 +11,8 @@ One module per paper artifact:
 
 Cross-cutting plumbing:
 
+- :mod:`repro.harness.runspec` — the :class:`RunSpec` every canonical
+  entry point (and the ``repro`` CLI) consumes;
 - :mod:`repro.harness.parallel` — the process-pool sweep runner every
   driver fans its independent points through;
 - :mod:`repro.harness.hostperf` — wall-clock timing of a fixed
@@ -19,15 +21,19 @@ Cross-cutting plumbing:
 The benchmarks in ``benchmarks/`` are thin wrappers over these drivers.
 """
 
-from repro.harness.factory import SYSTEMS, build_system, settle
+from repro.harness.factory import SYSTEMS, build_from_spec, build_system, settle
 from repro.harness.fig8 import fig8_sweep, fig8_point, Fig8Point
 from repro.harness.parallel import default_workers, run_points
+from repro.harness.runspec import WORKLOADS, RunSpec
 from repro.harness.table1 import table1_elections, table1_all
 from repro.harness.fig9 import fig9_grid, fig9_ycsb
 from repro.harness.render import render_table, render_series
 
 __all__ = [
     "SYSTEMS",
+    "WORKLOADS",
+    "RunSpec",
+    "build_from_spec",
     "build_system",
     "settle",
     "fig8_sweep",

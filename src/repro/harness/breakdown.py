@@ -2,9 +2,12 @@
 
 Two views, both reading uniform surfaces so every system is comparable:
 
-- :class:`LatencyAnatomy` instruments one Acuerdo cluster to timestamp
-  each stage of a message's life — client submit, leader broadcast,
-  follower acceptance, quorum commit, client acknowledgment;
+- :class:`LatencyAnatomy` derives each probe message's stage milestones
+  — client submit, leader broadcast, follower acceptance, quorum
+  commit, client acknowledgment — from the span recorder
+  (:mod:`repro.obs`), the same always-on instrumentation ``repro
+  trace`` exports, so the anatomy and the Chrome trace can never
+  disagree about where time went;
 - :func:`substrate_breakdown` renders any system's transport totals and
   per-message charges from the unified ``substrate.<backend>.*``
   counters and :meth:`~repro.substrate.cost.CostModel.cost_table`, so
@@ -19,13 +22,13 @@ total.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Any, Optional
 
-from repro.core.cluster import AcuerdoCluster
-from repro.core.node import AcuerdoNode
-from repro.core.types import MsgHdr
+from repro.obs.spans import MessageSpan, SpanRecorder
 from repro.protocols.base import BroadcastSystem
 from repro.sim.engine import Engine
+
+_PROBE_PREFIX = "probe."
 
 
 @dataclass
@@ -50,76 +53,117 @@ class Stages:
         return out
 
 
-class LatencyAnatomy:
-    """Instruments an AcuerdoCluster and records per-message stages.
+class _ProbeRecorder(SpanRecorder):
+    """A :class:`SpanRecorder` that also keeps the *raw* milestone list
+    of every finished span.
 
-    Works by wrapping node methods — no protocol changes, so the
-    measured path is exactly the production one (the wrappers add zero
-    simulated time).
+    The segment tree retains only the earliest mark per phase
+    (critical-path semantics); the anatomy additionally wants the
+    *second* follower acceptance (quorum for n=3), so it needs every
+    accept mark, not just the first.
     """
 
-    def __init__(self, cluster: AcuerdoCluster):
+    def __init__(self, engine: Any = None, tracer: Any = None):
+        super().__init__(engine, tracer)
+        self.raw_marks: dict[str, list[tuple[int, str]]] = {}
+
+    def finish(self, payload: Any, t: int) -> Optional[MessageSpan]:
+        rec = self._open.get(id(payload))
+        if rec is not None:
+            self.raw_marks[rec.label] = list(rec.marks)
+        return super().finish(payload, t)
+
+
+class LatencyAnatomy:
+    """Per-message stage milestones for an AcuerdoCluster, from spans.
+
+    Probes travel the exact production path: the milestones come from
+    the same ``engine.obs``-gated hooks every system carries (see
+    :mod:`repro.obs.spans`), which record host-side only — attaching
+    the recorder adds zero simulated time, so an instrumented run's
+    timeline is bit-identical to a plain one.
+    """
+
+    def __init__(self, cluster: Any):
         self.cluster = cluster
         self.engine: Engine = cluster.engine
-        self.stages: dict[int, Stages] = {}
-        self._hdr_to_probe: dict[MsgHdr, int] = {}
-        self._install()
+        self._stages: dict[int, Stages] = {}
+        recorder = getattr(self.engine, "obs", None)
+        if recorder is None:
+            recorder = _ProbeRecorder(self.engine)
+        self.recorder: SpanRecorder = recorder
+        self._collected = 0
 
-    def _install(self) -> None:
-        anatomy = self
-
-        for node in self.cluster.nodes.values():
-            orig_accept = node._accept
-            orig_deliver = node._deliver
-
-            def accept(msg, node=node, orig=orig_accept):
-                out = orig(msg)
-                probe = anatomy._hdr_to_probe.get(msg.hdr)
-                if probe is not None:
-                    st = anatomy.stages[probe]
-                    now = anatomy.engine.now
-                    if node.node_id != msg.hdr.e.leader:
-                        if st.first_accept is None:
-                            st.first_accept = now
-                        elif st.quorum_accept is None:
-                            st.quorum_accept = now
-                return out
-
-            def deliver(m, node=node, orig=orig_deliver):
-                probe = anatomy._hdr_to_probe.get(m.hdr)
-                if probe is not None and node.node_id == m.hdr.e.leader:
-                    st = anatomy.stages[probe]
-                    if st.committed is None:
-                        st.committed = anatomy.engine.now
-                orig(m)
-
-            node._accept = accept
-            node._deliver = deliver
+    @property
+    def stages(self) -> dict[int, Stages]:
+        """Probe id → :class:`Stages`, refreshed from finished spans."""
+        self._collect()
+        return self._stages
 
     def probe(self, probe_id: int, payload, size: int = 10) -> None:
-        """Submit one instrumented message."""
+        """Submit one instrumented message through the cluster."""
         st = Stages(submitted=self.engine.now)
-        self.stages[probe_id] = st
-        ldr = self.cluster.leader_id()
-        node: AcuerdoNode = self.cluster.nodes[ldr]
+        self._stages[probe_id] = st
+        # Open the span under a recognisable label before submit();
+        # the cluster's own obs_begin is then an idempotent re-begin.
+        self.recorder.begin(payload, self.engine.now,
+                            label=f"{_PROBE_PREFIX}{probe_id}")
 
         def on_commit(hdr):
             st.acked = self.engine.now
 
-        # The leader assigns counts sequentially, so the header of this
-        # message is predictable at submit time.
-        hdr = MsgHdr(node.E_new, node.Count + len(node.pending_client) + 1)
-        node.client_broadcast(payload, size, on_commit)
-        self._hdr_to_probe[hdr] = probe_id
+        if not self.cluster.submit(payload, size, on_commit):
+            self.recorder.discard(payload)
 
-        # Record broadcast time: next time Count reaches our header.
-        def watch():
-            if node.Count >= hdr.cnt and st.broadcast is None:
-                st.broadcast = self.engine.now
-                return
-            self.engine.schedule(100, watch)
+    # ------------------------------------------------------------ collection
 
-        self.engine.schedule(0, watch)
+    def _collect(self) -> None:
+        messages = self.recorder.messages
+        raw = getattr(self.recorder, "raw_marks", {})
+        for span in messages[self._collected:]:
+            if not span.label.startswith(_PROBE_PREFIX):
+                continue
+            try:
+                pid = int(span.label[len(_PROBE_PREFIX):])
+            except ValueError:
+                continue
+            st = self._stages.get(pid)
+            if st is None:
+                continue
+            marks = raw.get(span.label)
+            if marks is not None:
+                self._fill_from_marks(st, marks)
+            else:
+                self._fill_from_span(st, span)
+        self._collected = len(messages)
+
+    @staticmethod
+    def _fill_from_marks(st: Stages, marks: list[tuple[int, str]]) -> None:
+        proposes = sorted(t for t, p in marks if p == "propose")
+        accepts = sorted(t for t, p in marks if p == "accept")
+        commits = sorted(t for t, p in marks if p == "commit")
+        if proposes:
+            st.broadcast = proposes[0]
+        if accepts:
+            st.first_accept = accepts[0]
+            if len(accepts) > 1:
+                st.quorum_accept = accepts[1]
+        if commits:
+            st.committed = commits[0]
+
+    @staticmethod
+    def _fill_from_span(st: Stages, span: MessageSpan) -> None:
+        # A foreign recorder (no raw marks) still yields the earliest
+        # milestone per phase: each segment *ends* at its phase's mark.
+        for phase, field in (("propose", "broadcast"),
+                             ("accept", "first_accept"),
+                             ("quorum", "quorum_accept"),
+                             ("commit", "committed")):
+            bounds = span.phase_bounds(phase)
+            if bounds is not None:
+                setattr(st, field, bounds[1])
+
+    # --------------------------------------------------------------- render
 
     def render(self) -> str:
         """Average stage-elapsed table across all probes."""

@@ -105,6 +105,20 @@ def build_system(name: str, engine: Engine, n: int,
         f"unknown system {name!r}; pick from {SYSTEMS + EXTENSION_SYSTEMS}")
 
 
+def build_from_spec(spec, engine: Optional[Engine] = None,
+                    record_deliveries: bool = False,
+                    substrate_params: Optional[CostModel] = None,
+                    **kwargs) -> BroadcastSystem:
+    """Instantiate the system a :class:`~repro.harness.runspec.RunSpec`
+    names.  Without an explicit ``engine``, a fresh one is built from the
+    spec (seeded, span recorder attached if ``capture_spans``)."""
+    if engine is None:
+        engine = spec.make_engine()
+    return build_system(spec.system, engine, spec.n,
+                        record_deliveries=record_deliveries,
+                        substrate_params=substrate_params, **kwargs)
+
+
 def settle(system: BroadcastSystem, preseed: bool = True,
            timeout_ms: Optional[int] = None) -> None:
     """Start the system and wait until it is serving.

@@ -3,6 +3,11 @@
 For each system the driver sweeps the client window over powers of two
 (starting at 1, as in §4.1) and reports one ``(throughput, latency)``
 point per window; the sweep stops once throughput saturates — the knee.
+
+The canonical entry points consume a :class:`~repro.harness.runspec.RunSpec`
+(:func:`point`, :func:`sweep`); the historical keyword signatures
+(:func:`fig8_point`, :func:`fig8_sweep`) survive as thin shims that
+build the spec and forward.
 """
 
 from __future__ import annotations
@@ -11,7 +16,8 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.harness.factory import build_system, settle
-from repro.sim.engine import Engine, ms
+from repro.harness.runspec import RunSpec
+from repro.sim.engine import ms
 from repro.substrate import CostModel
 from repro.workloads.closedloop import ClosedLoopClient
 
@@ -35,25 +41,25 @@ class Fig8Point:
     wire_msgs: int = 0
 
 
-def fig8_point(system_name: str, n: int, message_size: int, window: int,
-               seed: int = 1, min_completions: int = 400,
-               max_sim_ms: float = 400.0,
-               substrate_params: Optional[CostModel] = None) -> Fig8Point:
-    """Measure one (system, n, size, window) point on a fresh cluster.
+def point(spec: RunSpec, min_completions: int = 400,
+          substrate_params: Optional[CostModel] = None) -> Fig8Point:
+    """Measure one Fig. 8 point on a fresh cluster described by ``spec``.
 
     The run length adapts to the system's speed: it extends in chunks
-    until ``min_completions`` messages have been measured or the sim-time
-    budget is exhausted (the slow TCP systems need far more simulated
-    time per message than the RDMA ones)."""
-    engine = Engine(seed=seed)
-    system = build_system(system_name, engine, n,
+    until ``min_completions`` messages have been measured or the
+    ``spec.duration_ms`` sim-time budget is exhausted (the slow TCP
+    systems need far more simulated time per message than the RDMA
+    ones)."""
+    engine = spec.make_engine()
+    system = build_system(spec.system, engine, spec.n,
                           substrate_params=substrate_params)
     settle(system)
-    client = ClosedLoopClient(system, window=window, message_size=message_size,
-                              warmup=min(50, 2 * window))
+    client = ClosedLoopClient(system, window=spec.window,
+                              message_size=spec.payload_bytes,
+                              warmup=min(50, 2 * spec.window))
     client.start()
     chunk = ms(2)
-    deadline = engine.now + ms(max_sim_ms)
+    deadline = engine.now + ms(spec.duration_ms)
     while len(client.latencies) < min_completions and engine.now < deadline:
         engine.run(until=engine.now + chunk)
         chunk = min(chunk * 2, ms(32))
@@ -62,10 +68,10 @@ def fig8_point(system_name: str, n: int, message_size: int, window: int,
     counters = system.substrate_counters()
     backend = system.substrate.backend if system.substrate else ""
     return Fig8Point(
-        system=system_name,
-        n=n,
-        message_size=message_size,
-        window=window,
+        system=spec.system,
+        n=spec.n,
+        message_size=spec.payload_bytes,
+        window=spec.window,
         throughput_mb_s=res.throughput_mb_per_sec,
         throughput_msgs_s=res.throughput_msgs_per_sec,
         mean_latency_us=res.mean_latency_us,
@@ -76,39 +82,49 @@ def fig8_point(system_name: str, n: int, message_size: int, window: int,
     )
 
 
-def fig8_sweep(system_name: str, n: int, message_size: int, seed: int = 1,
-               max_window: int = 1024, min_completions: int = 400,
-               saturation_gain: float = 1.08,
-               latency_blowup: float = 12.0,
-               substrate_params: Optional[CostModel] = None,
-               workers: int = 1) -> list[Fig8Point]:
+def fig8_point(system_name: str, n: int, message_size: int, window: int,
+               seed: int = 1, min_completions: int = 400,
+               max_sim_ms: float = 400.0,
+               substrate_params: Optional[CostModel] = None) -> Fig8Point:
+    """Deprecated keyword shim for :func:`point`."""
+    spec = RunSpec(system=system_name, n=n, payload_bytes=message_size,
+                   window=window, seed=seed, duration_ms=max_sim_ms)
+    return point(spec, min_completions, substrate_params)
+
+
+def sweep(spec: RunSpec, max_window: int = 1024, min_completions: int = 400,
+          saturation_gain: float = 1.08, latency_blowup: float = 12.0,
+          substrate_params: Optional[CostModel] = None,
+          workers: Optional[int] = None) -> list[Fig8Point]:
     """Sweep windows 1, 2, 4, ... until saturation (§4.1's load sweep).
 
     Stops when doubling the window no longer buys ``saturation_gain``
     in throughput, or when latency exceeds ``latency_blowup`` x the
     floor — the region past the knee carries no information.
 
-    With ``workers > 1`` the next ``workers`` windows are evaluated
-    *speculatively* in parallel (each point is an independent,
-    deterministic simulation) and the sequential stopping rule is then
-    applied to them in window order — the returned points are identical
-    to a ``workers=1`` sweep; past-the-knee speculation is discarded.
+    ``workers`` defaults to ``spec.workers``.  With more than one, the
+    next ``workers`` windows are evaluated *speculatively* in parallel
+    (each point is an independent, deterministic simulation) and the
+    sequential stopping rule is then applied to them in window order —
+    the returned points are identical to a ``workers=1`` sweep;
+    past-the-knee speculation is discarded.
     """
     from repro.harness.parallel import run_points
 
+    nworkers = workers if workers is not None else spec.workers
     points: list[Fig8Point] = []
     floor_latency: Optional[float] = None
     window = 1
-    wave_size = max(1, int(workers))
+    wave_size = max(1, int(nworkers))
     while window <= max_window:
         wave = []
         w = window
         while w <= max_window and len(wave) < wave_size:
-            wave.append((system_name, n, message_size, w, seed,
-                         min_completions, 400.0, substrate_params))
+            wave.append((spec.replace(window=w), min_completions,
+                         substrate_params))
             w *= 2
         window = w
-        for p in run_points(fig8_point, wave, workers=workers):
+        for p in run_points(point, wave, workers=nworkers):
             points.append(p)
             if floor_latency is None and p.completed > 0:
                 floor_latency = p.mean_latency_us
@@ -119,6 +135,20 @@ def fig8_sweep(system_name: str, n: int, message_size: int, seed: int = 1,
                 if gain < saturation_gain or blowup:
                     return points
     return points
+
+
+def fig8_sweep(system_name: str, n: int, message_size: int, seed: int = 1,
+               max_window: int = 1024, min_completions: int = 400,
+               saturation_gain: float = 1.08,
+               latency_blowup: float = 12.0,
+               substrate_params: Optional[CostModel] = None,
+               workers: int = 1) -> list[Fig8Point]:
+    """Deprecated keyword shim for :func:`sweep`."""
+    spec = RunSpec(system=system_name, n=n, payload_bytes=message_size,
+                   seed=seed, duration_ms=400.0, workers=max(1, int(workers)))
+    return sweep(spec, max_window=max_window, min_completions=min_completions,
+                 saturation_gain=saturation_gain, latency_blowup=latency_blowup,
+                 substrate_params=substrate_params, workers=workers)
 
 
 def knee(points: list[Fig8Point]) -> Fig8Point:

@@ -8,6 +8,10 @@ each system's knee so the number reported is saturated throughput.
 
 The paper compares the Acuerdo-backed table against ZooKeeper and etcd
 (both effectively in-memory-equivalent deployments of the same state).
+
+The canonical entry point consumes a
+:class:`~repro.harness.runspec.RunSpec` (:func:`point`); the historical
+keyword signature (:func:`fig9_point`) survives as a thin shim.
 """
 
 from __future__ import annotations
@@ -17,7 +21,8 @@ from typing import Optional
 
 from repro.apps.hashtable import ReplicatedHashTable
 from repro.harness.factory import build_system, settle
-from repro.sim.engine import Engine, ms
+from repro.harness.runspec import RunSpec
+from repro.sim.engine import ms
 from repro.substrate import CostModel
 from repro.workloads.closedloop import ClosedLoopClient
 from repro.workloads.ycsb import YcsbLoadWorkload
@@ -41,42 +46,58 @@ class Fig9Point:
 KV_SERVICE_CPU_NS = 3_500
 
 
-def fig9_point(system_name: str, n: int, seed: int = 1, window: int = 96,
-               min_completions: int = 500, max_sim_ms: float = 2_000.0,
-               record_count: int = 2_000, value_size: int = 100,
-               substrate_params: Optional[CostModel] = None) -> Fig9Point:
-    """Measure saturated YCSB-load ops/sec for one (system, n)."""
-    engine = Engine(seed=seed)
+def point(spec: RunSpec, min_completions: int = 500,
+          record_count: int = 2_000,
+          substrate_params: Optional[CostModel] = None) -> Fig9Point:
+    """Measure saturated YCSB-load ops/sec for ``spec``.
+
+    ``spec.payload_bytes`` is the wire size of one update op: 8 bytes of
+    key plus the YCSB value (so the value size is ``payload_bytes - 8``).
+    """
+    engine = spec.make_engine()
     kwargs = {}
-    if system_name == "acuerdo":
+    if spec.system == "acuerdo":
         from repro.core.config import AcuerdoConfig
 
         cfg = AcuerdoConfig()
         cfg.broadcast_cpu_ns += KV_SERVICE_CPU_NS
         kwargs["config"] = cfg
-    system = build_system(system_name, engine, n,
+    system = build_system(spec.system, engine, spec.n,
                           substrate_params=substrate_params, **kwargs)
     settle(system)
     table = ReplicatedHashTable(system)
+    value_size = max(1, spec.payload_bytes - 8)
     workload = YcsbLoadWorkload(engine, record_count=record_count,
                                 value_size=value_size)
     ops = [workload.next_op() for _ in range(4096)]
 
-    client = ClosedLoopClient(system, window=window,
+    client = ClosedLoopClient(system, window=spec.window,
                               message_size=8 + value_size,
                               payload_fn=lambda i: ops[i % len(ops)],
-                              warmup=min(100, 2 * window))
+                              warmup=min(100, 2 * spec.window))
     client.start()
     chunk = ms(4)
-    deadline = engine.now + ms(max_sim_ms)
+    deadline = engine.now + ms(spec.duration_ms)
     while len(client.latencies) < min_completions and engine.now < deadline:
         engine.run(until=engine.now + chunk)
         chunk = min(chunk * 2, ms(64))
     client.stop()
     res = client.result()
-    return Fig9Point(system=system_name, n=n,
+    return Fig9Point(system=spec.system, n=spec.n,
                      ops_per_sec=res.throughput_msgs_per_sec,
                      completed=res.completed)
+
+
+def fig9_point(system_name: str, n: int, seed: int = 1, window: int = 96,
+               min_completions: int = 500, max_sim_ms: float = 2_000.0,
+               record_count: int = 2_000, value_size: int = 100,
+               substrate_params: Optional[CostModel] = None) -> Fig9Point:
+    """Deprecated keyword shim for :func:`point`."""
+    spec = RunSpec(system=system_name, n=n, payload_bytes=8 + value_size,
+                   window=window, workload="ycsb", duration_ms=max_sim_ms,
+                   seed=seed)
+    return point(spec, min_completions=min_completions,
+                 record_count=record_count, substrate_params=substrate_params)
 
 
 def fig9_grid(sizes=(3, 5, 7, 9), systems=FIG9_SYSTEMS, seed: int = 1,

@@ -41,31 +41,36 @@ import time
 from dataclasses import asdict
 from typing import Any, Optional
 
-from repro.harness.fig8 import fig8_point
+from repro.harness.fig8 import point
+from repro.harness.runspec import RunSpec
 
 SCHEMA = "repro.host_perf/v1"
 
 DEFAULT_PATH = pathlib.Path("BENCH_host_perf.json")
 
-#: The fixed reference workload: one mid-size Fig. 8 point per backend.
-#: Frozen — editing these invalidates every recorded number in the BENCH
-#: file (capture a fresh baseline if you must change them).
+#: The fixed reference workload: one mid-size Fig. 8 point per backend,
+#: named by a :class:`RunSpec` plus its completion target.  Frozen —
+#: editing these invalidates every recorded number in the BENCH file
+#: (capture a fresh baseline if you must change them).
 REFERENCE_POINTS: dict[str, dict[str, Any]] = {
-    "rdma": dict(system_name="acuerdo", n=3, message_size=1000, window=32,
-                 seed=3, min_completions=3000, max_sim_ms=2000.0),
-    "tcp": dict(system_name="zookeeper", n=3, message_size=1000, window=32,
-                seed=3, min_completions=2000, max_sim_ms=4000.0),
+    "rdma": {"spec": RunSpec(system="acuerdo", n=3, payload_bytes=1000,
+                             window=32, seed=3, duration_ms=2000.0),
+             "min_completions": 3000},
+    "tcp": {"spec": RunSpec(system="zookeeper", n=3, payload_bytes=1000,
+                            window=32, seed=3, duration_ms=4000.0),
+            "min_completions": 2000},
 }
 
-#: Keys of the sweep-equivalence check workload (kept tiny: it runs the
-#: sweep twice).
-SWEEP_CHECK = dict(system_name="acuerdo", n=3, message_size=100, seed=5,
-                   min_completions=60, max_window=8)
+#: The sweep-equivalence check workload (kept tiny: it runs the sweep
+#: twice).
+SWEEP_CHECK_SPEC = RunSpec(system="acuerdo", n=3, payload_bytes=100, seed=5)
+SWEEP_CHECK = dict(min_completions=60, max_window=8)
 
 
 def run_reference_point(backend: str):
     """Execute the reference workload for one backend; returns Fig8Point."""
-    return fig8_point(**REFERENCE_POINTS[backend])
+    ref = REFERENCE_POINTS[backend]
+    return point(ref["spec"], min_completions=ref["min_completions"])
 
 
 def measure(repeats: int = 3) -> dict[str, dict[str, Any]]:
@@ -91,11 +96,11 @@ def measure(repeats: int = 3) -> dict[str, dict[str, Any]]:
 def sweep_equivalence(workers: int = 4) -> dict[str, Any]:
     """Render the same small Fig. 8 sweep with ``workers=1`` and
     ``workers=N``; the artifact text must be identical."""
-    from repro.harness.fig8 import fig8_sweep
+    from repro.harness.fig8 import sweep
     from repro.harness.render import render_table
 
     def render(workers: int) -> str:
-        pts = fig8_sweep(workers=workers, **SWEEP_CHECK)
+        pts = sweep(SWEEP_CHECK_SPEC, workers=workers, **SWEEP_CHECK)
         rows = [[p.window, round(p.throughput_mb_s, 3),
                  round(p.mean_latency_us, 1), round(p.p99_latency_us, 1),
                  p.completed, p.wire_bytes] for p in pts]
@@ -139,7 +144,9 @@ def write_bench(path: pathlib.Path, repeats: int = 3,
 
     doc: dict[str, Any] = {
         "schema": SCHEMA,
-        "workload": {k: dict(v) for k, v in REFERENCE_POINTS.items()},
+        "workload": {k: {"spec": v["spec"].to_dict(),
+                         "min_completions": v["min_completions"]}
+                     for k, v in REFERENCE_POINTS.items()},
         "units": "wall-clock seconds, best of repeats, per reference point",
         "repeats": repeats,
     }

@@ -18,6 +18,11 @@ descheduled machines).  Elections that can form a quorum from fast
 nodes stay sub-millisecond; elections that need a long-latency voter
 wait on its response cadence, which is where the growth and the
 7-to-9-node plateau come from.
+
+The canonical entry point consumes a
+:class:`~repro.harness.runspec.RunSpec` (:func:`elections`, an open-loop
+run whose ``duration_ms`` spans ``kills`` kill periods); the historical
+keyword signature (:func:`table1_elections`) survives as a thin shim.
 """
 
 from __future__ import annotations
@@ -25,7 +30,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.cluster import AcuerdoCluster
-from repro.sim.engine import Engine, ms, us
+from repro.harness.runspec import RunSpec
+from repro.sim.engine import ms, us
 from repro.workloads.openloop import OpenLoopClient
 
 #: Long-latency replicas per cluster size.  Chosen so that once the
@@ -42,20 +48,23 @@ SLOW_POLL_NS = us(800)
 SLEEP_NS = ms(25)
 
 
-def table1_elections(n: int, seed: int = 1, kills: int = 6,
-                     kill_period_ms: float = 8.0,
-                     slow_nodes: Optional[int] = None) -> list[float]:
-    """Run the §4.2 experiment for one replica count.
+def elections(spec: RunSpec, kills: int = 6,
+              slow_nodes: Optional[int] = None) -> list[float]:
+    """Run the §4.2 experiment described by ``spec``.
 
-    Returns measured election durations in milliseconds (one per
-    successful fail-over election).  ``kills`` counts leader sleeps.
+    ``spec.duration_ms`` spans the whole kill schedule: each of the
+    ``kills`` leader sleeps is preceded by one ``duration_ms / kills``
+    run period.  Returns measured election durations in milliseconds
+    (one per successful fail-over election).
     """
-    engine = Engine(seed=seed)
-    cluster = AcuerdoCluster(engine, n, record_deliveries=False)
+    kill_period_ms = spec.duration_ms / kills
+    engine = spec.make_engine()
+    cluster = AcuerdoCluster(engine, spec.n, record_deliveries=False)
     cluster.start()
     engine.run(until=ms(1))
 
-    n_slow = slow_nodes if slow_nodes is not None else DEFAULT_SLOW_NODES.get(n, n // 3)
+    n_slow = (slow_nodes if slow_nodes is not None
+              else DEFAULT_SLOW_NODES.get(spec.n, spec.n // 3))
     # The long-latency machines are the highest-id replicas; elections
     # do not know that and must wait whenever a quorum needs one.
     for node_id in sorted(cluster.node_ids, reverse=True)[:n_slow]:
@@ -63,7 +72,8 @@ def table1_elections(n: int, seed: int = 1, kills: int = 6,
         node.config.poll_interval_ns = SLOW_POLL_NS
         node.config.poll_jitter_ns = SLOW_POLL_NS
 
-    client = OpenLoopClient(cluster, period_ns=us(5), message_size=10)
+    client = OpenLoopClient(cluster, period_ns=us(5),
+                            message_size=spec.payload_bytes)
     client.start()
 
     slept = 0
@@ -80,6 +90,16 @@ def table1_elections(n: int, seed: int = 1, kills: int = 6,
 
     durations_ns = engine.trace.series("acuerdo.election_duration_ns")
     return [d / 1e6 for d in durations_ns]
+
+
+def table1_elections(n: int, seed: int = 1, kills: int = 6,
+                     kill_period_ms: float = 8.0,
+                     slow_nodes: Optional[int] = None) -> list[float]:
+    """Deprecated keyword shim for :func:`elections`."""
+    spec = RunSpec(system="acuerdo", n=n, payload_bytes=10,
+                   workload="openloop", duration_ms=kills * kill_period_ms,
+                   seed=seed)
+    return elections(spec, kills=kills, slow_nodes=slow_nodes)
 
 
 def table1_all(sizes=(3, 5, 7, 9), seed: int = 1,

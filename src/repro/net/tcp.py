@@ -113,11 +113,14 @@ class TcpEndpoint(Endpoint):
         recv_cpu_ns = self._recv_cpu_ns
         speed = cpu.speed_factor
         inbox = self.inbox
+        obs = self.engine.obs
         while inbox and (max_batch is None or len(out) < max_batch):
             src, payload, _size = inbox.popleft()
             out.append((src, payload))
             self.received += 1
             cpu.busy_until = max(cpu.busy_until, now) + int(recv_cpu_ns * speed)
+            if obs is not None:
+                obs.mark(payload, "poll_notice", now)
         return out
 
 
@@ -174,6 +177,12 @@ class TcpNetwork(Substrate):
         deliver_at = max(deliver_at, self._last_delivery.get(key, 0) + 1)
         self._last_delivery[key] = deliver_at
         self.engine.schedule_at(deliver_at, self._deliver, dst, src, payload, size_bytes)
+        obs = self.engine.obs
+        if obs is not None:
+            # Span milestones for traced carriers (dict miss otherwise).
+            obs.mark(payload, "nic_tx", tx_done)
+            obs.mark(payload, "wire", tx_done + p.propagation_ns)
+            obs.mark(payload, "deposit", deliver_at)
 
     def _deliver(self, dst: int, src: int, payload: Any, size: int) -> None:
         ep = self.endpoints.get(dst)

@@ -1,0 +1,116 @@
+"""One-call span capture: run a :class:`~repro.harness.runspec.RunSpec`
+with tracing on and collect spans + metrics + exportable documents.
+
+This is the engine behind ``repro trace`` and the span-based
+latency-anatomy tooling: build the system the spec names, settle it,
+drive the spec's workload for ``duration_ms`` of simulated time with a
+:class:`~repro.obs.spans.SpanRecorder` attached, then fold the tracer
+and substrate counters into one :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+from repro.obs.export import chrome_trace, timeline
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import MessageSpan, SpanRecorder
+
+
+@dataclass
+class CaptureResult:
+    """Everything one traced run produced."""
+
+    spec: Any                     # the (capture-enabled) RunSpec that ran
+    recorder: SpanRecorder
+    metrics: MetricsRegistry
+    result: Any = None            # workload result (ClosedLoopResult) if any
+
+    @property
+    def messages(self) -> list[MessageSpan]:
+        return self.recorder.messages
+
+    def _meta(self, metadata: Optional[dict]) -> dict:
+        meta = {"spec": self.spec.to_dict()}
+        if metadata:
+            meta.update(metadata)
+        return meta
+
+    def chrome(self, metadata: Optional[dict] = None) -> dict:
+        """The run as a Chrome-trace (Perfetto-loadable) document."""
+        return chrome_trace(self.recorder, metadata=self._meta(metadata))
+
+    def timeline(self, metadata: Optional[dict] = None) -> dict:
+        """The run as a plain-JSON timeline document with metrics."""
+        return timeline(self.recorder, metrics=self.metrics.snapshot(),
+                        metadata=self._meta(metadata))
+
+
+def capture_run(spec: Any, *, min_completions: Optional[int] = None,
+                substrate_params: Any = None) -> CaptureResult:
+    """Run ``spec`` with span capture forced on and return the capture.
+
+    ``min_completions`` (closed-loop workloads only) ends the run early
+    once that many client completions have been measured; the sim-time
+    budget is always ``spec.duration_ms``.
+    """
+    from repro.harness.factory import build_system, settle
+    from repro.sim.engine import ms, us
+
+    spec = spec.replace(capture_spans=True)
+    engine = spec.make_engine()
+    recorder = engine.obs
+    system = build_system(spec.system, engine, spec.n,
+                          substrate_params=substrate_params)
+    settle(system)
+
+    result = None
+    if spec.workload == "openloop":
+        from repro.workloads.openloop import OpenLoopClient
+
+        client = OpenLoopClient(system, period_ns=us(5),
+                                message_size=spec.payload_bytes)
+        client.start()
+        engine.run(until=engine.now + ms(spec.duration_ms))
+        client.stop()
+    else:
+        from repro.workloads.closedloop import ClosedLoopClient
+
+        payload_fn = None
+        msg_size = spec.payload_bytes
+        if spec.workload == "ycsb":
+            from repro.workloads.ycsb import YcsbLoadWorkload
+
+            value_size = max(1, spec.payload_bytes - 8)
+            wl = YcsbLoadWorkload(engine, record_count=2_000,
+                                  value_size=value_size)
+            ops = [wl.next_op() for _ in range(4096)]
+
+            def payload_fn(i: int) -> Any:
+                return ops[i % len(ops)]
+
+            msg_size = 8 + value_size
+        client = ClosedLoopClient(system, window=spec.window,
+                                  message_size=msg_size,
+                                  payload_fn=payload_fn)
+        client.start()
+        chunk = ms(1)
+        deadline = engine.now + ms(spec.duration_ms)
+        while engine.now < deadline and (
+                min_completions is None
+                or len(client.latencies) < min_completions):
+            engine.run(until=min(deadline, engine.now + chunk))
+            chunk = min(chunk * 2, ms(16))
+        client.stop()
+        result = client.result()
+    # Short drain so in-flight messages reach delivery and close their
+    # spans (open spans would otherwise be dropped from the export).
+    engine.run(until=engine.now + ms(1))
+
+    metrics = MetricsRegistry()
+    metrics.ingest_tracer(engine.trace)
+    if getattr(system, "substrate", None) is not None:
+        metrics.ingest_substrate(system.substrate)
+    return CaptureResult(spec=spec, recorder=recorder, metrics=metrics,
+                        result=result)

@@ -1,0 +1,93 @@
+"""One naming scheme for every number the simulator can report.
+
+Before this module, three observability surfaces each had their own
+shape: ``Tracer.summary()`` returned sample means only,
+``Substrate.counters()`` returned prefixed transport totals, and
+``publish_counters()`` folded the latter into the former with ad-hoc
+loops in harness code.  :class:`MetricsRegistry` is the single funnel:
+everything becomes a flat ``dict[str, int | float]`` with dotted names
+(``acuerdo.commit``, ``substrate.rdma.writes``,
+``obs.delivery_latency_ns.mean``), and all three entry points route
+through it — so harness code reads one shape regardless of backend.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Union
+
+Number = Union[int, float]
+
+
+class MetricsRegistry:
+    """Flat, dotted-name metric store with merge/publish plumbing.
+
+    Values are plain ints/floats; recording a name twice overwrites
+    (last write wins), mirroring counter-publication semantics where a
+    re-publish replaces the previous totals rather than double-counting.
+    """
+
+    def __init__(self) -> None:
+        self._values: dict[str, Number] = {}
+
+    # -------------------------------------------------------------- record
+
+    def record(self, name: str, value: Number) -> None:
+        """Set one metric.  Names must be non-empty dotted identifiers."""
+        if not isinstance(name, str) or not name:
+            raise ValueError(f"metric name must be a non-empty str, got {name!r}")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise TypeError(f"metric {name!r} must be int or float, got {value!r}")
+        self._values[name] = value
+
+    def merge(self, mapping: Mapping[str, Number]) -> None:
+        """Record every item of ``mapping`` (validated individually)."""
+        for name, value in mapping.items():
+            self.record(name, value)
+
+    def ingest_namespaced(self, prefix: str, mapping: Mapping[str, Number]) -> None:
+        """Record ``mapping`` with every key prefixed by ``prefix.``."""
+        for name, value in mapping.items():
+            self.record(f"{prefix}.{name}", value)
+
+    def ingest_tracer(self, tracer: Any) -> None:
+        """Fold a :class:`~repro.sim.trace.Tracer` in: counters verbatim,
+        sample series as their means (the scalar a summary wants)."""
+        for name, value in tracer.counters.items():
+            self.record(name, value)
+        for name in tracer.samples:
+            self.record(name, tracer.mean(name))
+
+    def ingest_substrate(self, substrate: Any) -> None:
+        """Fold a substrate's already-namespaced counters in."""
+        if substrate is not None:
+            self.merge(substrate.counters())
+
+    # ------------------------------------------------------------- publish
+
+    def publish(self, tracer: Any) -> dict[str, Number]:
+        """Write every metric into ``tracer.counters`` (assignment, not
+        increment: publishing twice must not double-count) and return
+        the snapshot that was published."""
+        snap = self.snapshot()
+        for name, value in snap.items():
+            tracer.counters[name] = value
+        return snap
+
+    # ---------------------------------------------------------- inspection
+
+    def snapshot(self, names: Optional[Iterable[str]] = None) -> dict[str, Number]:
+        """The metrics as a new key-sorted flat dict; ``names`` filters
+        to the listed metrics (missing names are simply absent)."""
+        if names is None:
+            return dict(sorted(self._values.items()))
+        wanted = set(names)
+        return {k: v for k, v in sorted(self._values.items()) if k in wanted}
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._values
+
+    def __getitem__(self, name: str) -> Number:
+        return self._values[name]

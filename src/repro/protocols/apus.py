@@ -122,6 +122,7 @@ class ApusNode(Process):
             start = len(self.log)
             size_total = 0
             entries = []
+            obs = self.engine.obs
             for _ in range(take):
                 payload, size, cb = self.pending.pop(0)
                 if cb is not None:
@@ -130,8 +131,15 @@ class ApusNode(Process):
                 entries.append((payload, size))
                 size_total += size
                 self._charge(self.cfg.paxos_cpu_ns)
+                if obs is not None:
+                    obs.mark(payload, "propose", self.engine.now)
             end = len(self.log)
             self.batch_in_flight = (start, end)
+            batch = tuple(entries)
+            if obs is not None:
+                # The batch tuple is the wire carrier; substrate marks
+                # (nic_tx/wire/deposit) attribute to its lead message.
+                obs.bind(batch, entries[0][0])
             # One-sided write of the batch into each acceptor's log,
             # posted once the per-instance CPU work rings the doorbell.
             for p in c.node_ids:
@@ -139,7 +147,7 @@ class ApusNode(Process):
                     continue
                 region, rkey = c.log_regions[p]
                 c.fabric.write(self.node_id, p, region, rkey,
-                               (self.term, start), tuple(entries),
+                               (self.term, start), batch,
                                size_total + 16 * take,
                                wr_id=("apus", start),
                                earliest_ns=self.cpu.busy_until)
@@ -154,6 +162,7 @@ class ApusNode(Process):
         c = self.cluster
         inbox = c.log_inboxes[self.node_id]
         progressed = False
+        obs = self.engine.obs
         while inbox:
             (term, start), entries = inbox.pop(0)
             if term < self.term:
@@ -165,6 +174,8 @@ class ApusNode(Process):
             for payload, size in entries:
                 self.log.append((payload, size))
                 self._charge(self.cfg.accept_cpu_ns)
+                if obs is not None:
+                    obs.mark(payload, "accept", self.engine.now)
             progressed = True
         row = c.commit_sst.read(self.node_id, c.leader)
         if row is not None:
@@ -186,9 +197,12 @@ class ApusNode(Process):
 
     def _deliver(self) -> None:
         limit = self.commit_index if self.is_leader else self.seen_commit
+        obs = self.engine.obs
         while self.cluster.delivered.get(self.node_id, 0) < limit:
             i = self.cluster.delivered.get(self.node_id, 0)
             payload, _size = self.log[i]
+            if obs is not None:
+                obs.mark(payload, "commit", self.engine.now)
             self.cluster.record_delivery(self.node_id, payload)
             self.cluster.delivered[self.node_id] = i + 1
             self._charge(self.cfg.deliver_cpu_ns)
@@ -271,6 +285,7 @@ class ApusCluster(BroadcastSystem):
         nd = self.nodes[self.leader]
         if nd.crashed:
             return False
+        self.obs_begin(payload)
         nd.client_broadcast(payload, size_bytes, on_commit)
         return True
 

@@ -131,8 +131,25 @@ class BroadcastSystem(abc.ABC):
 
     def record_delivery(self, node_id: int, payload: Any) -> None:
         self.deliveries.record(node_id, payload)
+        obs = self.engine.obs
+        if obs is not None:
+            # First app-level delivery closes the payload's span (later
+            # replicas' deliveries find no open record and are no-ops).
+            obs.finish(payload, self.engine.now)
         for listener in self.delivery_listeners:
             listener(node_id, payload)
+
+    # -------------------------------------------------------- observability
+
+    def obs_begin(self, payload: Any) -> None:
+        """Open a span for a client payload at submit time (no-op without
+        an attached recorder).  Every concrete ``submit()`` calls this on
+        the accepted-for-broadcast path."""
+        obs = self.engine.obs
+        if obs is not None:
+            # begin() records the submit timestamp itself; the first
+            # segment therefore starts at submit time by construction.
+            obs.begin(payload, self.engine.now, label=f"{self.name}.msg")
 
     # ------------------------------------------------------------ inspection
 

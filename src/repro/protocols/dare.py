@@ -127,6 +127,7 @@ class DareNode(Process):
         self.engine.trace.count("dare.elected")
 
     def _advance_chains(self) -> None:
+        obs = self.engine.obs
         # Pull pending client payloads into the local log first.
         while self.pending:
             payload, size, cb = self.pending.pop(0)
@@ -134,6 +135,8 @@ class DareNode(Process):
                 self._cbs[len(self.log)] = cb
             self.log.append((payload, size))
             self._charge(self.cfg.entry_cpu_ns)
+            if obs is not None:
+                obs.mark(payload, "propose", self.engine.now)
         # Per-follower chains: entry write -> completion -> valid write
         # -> completion -> next entry.  The fine-grained completion
         # discipline of §5, pipelined at most max_inflight deep.
@@ -147,9 +150,13 @@ class DareNode(Process):
             payload, size = self.log[nxt]
             region, rkey = self.cluster.log_regions[p]
             self._chain_phase[p] = ("entry", nxt)
+            val = (payload, size)
+            if obs is not None:
+                # Each entry write is a wire carrier for its payload.
+                obs.bind(val, payload)
             self.cluster.fabric.write(
                 self.node_id, p, region, rkey, ("entry", self.term, nxt),
-                (payload, size), size, signaled=True,
+                val, size, signaled=True,
                 wr_id=("dare-entry", p, nxt), earliest_ns=self.cpu.busy_until)
 
     def _drain_completions(self) -> None:
@@ -191,6 +198,7 @@ class DareNode(Process):
 
     def _acceptor_step(self) -> None:
         inbox = self.cluster.log_inboxes[self.node_id]
+        obs = self.engine.obs
         while inbox:
             key, value = inbox.pop(0)
             kind, term, idx = key
@@ -199,6 +207,8 @@ class DareNode(Process):
             self.term = max(self.term, term)
             if kind == "entry":
                 payload, size = value
+                if obs is not None:
+                    obs.mark(payload, "accept", self.engine.now)
                 while len(self.log) < idx:
                     self.log.append((None, 0))
                 if idx < len(self.log):
@@ -219,9 +229,12 @@ class DareNode(Process):
     def _deliver(self) -> None:
         limit = self.commit_index if self.is_leader else self.seen_commit
         delivered = self.cluster.delivered.setdefault(self.node_id, 0)
+        obs = self.engine.obs
         while delivered < limit:
             payload, _size = self.log[delivered]
             if payload is not None:
+                if obs is not None:
+                    obs.mark(payload, "commit", self.engine.now)
                 self.cluster.record_delivery(self.node_id, payload)
             cb = self._cbs.pop(delivered, None)
             if cb is not None:
@@ -318,6 +331,7 @@ class DareCluster(BroadcastSystem):
         nd = self.nodes[self.leader]
         if nd.crashed or not nd.is_leader:
             return False
+        self.obs_begin(payload)
         nd.client_broadcast(payload, size_bytes, on_commit)
         return True
 

@@ -202,6 +202,7 @@ class DerechoNode(Process):
             return
         ring = self.cluster.rings[self.node_id]
         budget = self.cfg.max_broadcasts_per_poll
+        obs = self.engine.obs
         while self.pending_client and budget > 0:
             budget -= 1
             payload, size, cb = self.pending_client[0]
@@ -210,6 +211,8 @@ class DerechoNode(Process):
                 self.engine.trace.count("derecho.ring_full")
                 return
             self._charge(self.cfg.broadcast_cpu_ns)
+            if obs is not None:
+                obs.mark(payload, "propose", self.engine.now)
             thr = self.cfg.rdmc_threshold_bytes
             if thr is not None and size >= thr and len(self.members) > 2:
                 # RDMC: tiny marker through the ring, payload over the
@@ -221,7 +224,11 @@ class DerechoNode(Process):
                 self._forward_bulk(self.node_id, self.sent_rounds, payload, size)
                 self.engine.trace.count("derecho.rdmc_send")
             else:
-                seq = ring.try_send((self.view, self.sent_rounds, payload), size,
+                msg = (self.view, self.sent_rounds, payload)
+                if obs is not None:
+                    # The ring message tuple is the wire carrier.
+                    obs.bind(msg, payload)
+                seq = ring.try_send(msg, size,
                                     earliest_ns=self.cpu.busy_until)
             self.pending_client.pop(0)
             self._round_seq[self.sent_rounds] = seq
@@ -318,12 +325,16 @@ class DerechoNode(Process):
             payload, _sz = entry
             self._store_put(sender, rnd, payload)
             self._charge(self.cfg.accept_cpu_ns)
+            obs = self.engine.obs
+            if obs is not None:
+                obs.mark(payload, "accept", self.engine.now)
             self._push_received()
 
     # ---------------------------------------------------------------- receive
 
     def _drain_rings(self) -> bool:
         got = False
+        obs = self.engine.obs
         for s in self.senders:
             ring = self.cluster.rings.get(s)
             if ring is None or self.node_id not in ring._receivers:
@@ -344,6 +355,8 @@ class DerechoNode(Process):
                     continue
                 self._store_put(s, rnd, payload)
                 self._charge(self.cfg.accept_cpu_ns)
+                if obs is not None and payload is not NULL:
+                    obs.mark(payload, "accept", self.engine.now)
                 got = True
         if got:
             self._push_received()
@@ -394,6 +407,7 @@ class DerechoNode(Process):
         mins = self._min_received()
         k = len(self.senders)
         progressed = False
+        obs = self.engine.obs
         while True:
             g = self.delivered_upto
             s = self.senders[g % k]
@@ -409,6 +423,8 @@ class DerechoNode(Process):
             progressed = True
             self._charge(self.cfg.deliver_cpu_ns)
             if payload is not NULL and payload is not None:
+                if obs is not None:
+                    obs.mark(payload, "commit", self.engine.now)
                 self.cluster.record_delivery(self.node_id, payload)
             if s == self.node_id:
                 cb = self._cbs.pop(rnd, None)
@@ -632,8 +648,10 @@ class DerechoCluster(BroadcastSystem):
                 return False
             target = live[self._rr_next % len(live)]
             self._rr_next += 1
+            self.obs_begin(payload)
             self.nodes[target].client_broadcast(payload, size_bytes, on_commit)
             return True
+        self.obs_begin(payload)
         self.nodes[ldr].client_broadcast(payload, size_bytes, on_commit)
         return True
 

@@ -102,22 +102,28 @@ class MuNode(Process):
         self._acks = {}
 
     def _replicate(self) -> None:
+        obs = self.engine.obs
         while self.pending:
             payload, size, cb = self.pending.pop(0)
             if cb is not None:
                 self._cbs[len(self.log)] = cb
             self.log.append((payload, size))
             self._charge(self.cfg.entry_cpu_ns)
+            if obs is not None:
+                obs.mark(payload, "propose", self.engine.now)
         for p, nxt in self._next_write.items():
             if self.cluster.nodes[p].crashed:
                 continue
             while nxt < len(self.log) and nxt - self.commit_index < self.cfg.max_inflight:
                 payload, size = self.log[nxt]
                 region, rkey = self.cluster.log_regions[p]
+                val = (payload, size)
+                if obs is not None:
+                    obs.bind(val, payload)
                 # ONE signaled write; its completion IS the acceptance.
                 self.cluster.fabric.write(
                     self.node_id, p, region, rkey, (self.term, nxt),
-                    (payload, size), size, signaled=True,
+                    val, size, signaled=True,
                     wr_id=("mu", p, nxt), earliest_ns=self.cpu.busy_until)
                 nxt += 1
             self._next_write[p] = nxt
@@ -145,12 +151,15 @@ class MuNode(Process):
 
     def _acceptor_step(self) -> None:
         inbox = self.cluster.log_inboxes[self.node_id]
+        obs = self.engine.obs
         while inbox:
             (term, idx), value = inbox.pop(0)
             if term < self.term:
                 continue
             self.term = max(self.term, term)
             payload, size = value
+            if obs is not None:
+                obs.mark(payload, "accept", self.engine.now)
             while len(self.log) < idx:
                 self.log.append((None, 0))
             if idx < len(self.log):
@@ -169,9 +178,12 @@ class MuNode(Process):
     def _deliver(self) -> None:
         limit = self.commit_index if self.is_leader else self.seen_commit
         delivered = self.cluster.delivered.setdefault(self.node_id, 0)
+        obs = self.engine.obs
         while delivered < limit:
             payload, _size = self.log[delivered]
             if payload is not None:
+                if obs is not None:
+                    obs.mark(payload, "commit", self.engine.now)
                 self.cluster.record_delivery(self.node_id, payload)
             cb = self._cbs.pop(delivered, None)
             if cb is not None:
@@ -270,6 +282,7 @@ class MuCluster(BroadcastSystem):
         nd = self.nodes[self.leader]
         if nd.crashed or not nd.is_leader or self._failover_in_progress:
             return False
+        self.obs_begin(payload)
         nd.client_broadcast(payload, size_bytes, on_commit)
         return True
 

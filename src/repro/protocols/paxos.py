@@ -109,8 +109,13 @@ class PaxosNode(Process):
                 self._cbs[iid] = cb
             self.open_instances.add(iid)
             self._charge(self.cfg.propose_cpu_ns)
-            self._bcast(("ACCEPT", self.ballot, iid, payload, size), size,
-                        include_self=True)
+            accept_msg = ("ACCEPT", self.ballot, iid, payload, size)
+            obs = self.engine.obs
+            if obs is not None:
+                # The ACCEPT tuple is the wire carrier for this payload.
+                obs.bind(accept_msg, payload)
+                obs.mark(payload, "propose", self.engine.now)
+            self._bcast(accept_msg, size, include_self=True)
             self.engine.trace.count("paxos.propose")
         now = self.engine.now
         if now - self._last_hb_sent >= self.cfg.heartbeat_period_ns:
@@ -146,6 +151,9 @@ class PaxosNode(Process):
                 self.promised[iid] = ballot
                 self.accepted[iid] = (ballot, payload, size)
                 self._charge(self.cfg.accept_cpu_ns)
+                obs = self.engine.obs
+                if obs is not None:
+                    obs.mark(msg, "accept", self.engine.now)
                 # Acceptors broadcast ACCEPTED to every learner.
                 self._bcast(("ACCEPTED", ballot, iid, payload, size), 24,
                             include_self=True)
@@ -199,8 +207,11 @@ class PaxosNode(Process):
     # ---------------------------------------------------------------- learner
 
     def _deliver_ready(self) -> None:
+        obs = self.engine.obs
         while self.next_deliver in self.chosen:
             payload, _size = self.chosen[self.next_deliver]
+            if obs is not None:
+                obs.mark(payload, "commit", self.engine.now)
             self.cluster.record_delivery(self.node_id, payload)
             if self.is_proposer:
                 cb = self._cbs.pop(self.next_deliver, None)
@@ -238,6 +249,7 @@ class PaxosCluster(BroadcastSystem):
         ldr = self.leader_id()
         if ldr is None:
             return False
+        self.obs_begin(payload)
         self.nodes[ldr].client_broadcast(payload, size_bytes, on_commit)
         return True
 

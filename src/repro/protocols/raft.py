@@ -139,9 +139,12 @@ class RaftNode(Process):
 
     def _leader_step(self) -> None:
         appended = False
+        obs = self.engine.obs
         while self.pending:
             payload, size, cb = self.pending.pop(0)
             self._charge(self.cfg.request_cpu_ns)
+            if obs is not None:
+                obs.mark(payload, "propose", self.engine.now)
             self.log.append((self.term, payload, size))
             if cb is not None:
                 self._cbs[len(self.log) - 1] = cb
@@ -189,9 +192,12 @@ class RaftNode(Process):
             self._apply()
 
     def _apply(self) -> None:
+        obs = self.engine.obs
         while self.applied < self.commit_index:
             term, payload, _sz = self.log[self.applied]
             if payload is not None:
+                if obs is not None:
+                    obs.mark(payload, "commit", self.engine.now)
                 self.cluster.record_delivery(self.node_id, payload)
             cb = self._cbs.pop(self.applied, None)
             if cb is not None:
@@ -245,6 +251,11 @@ class RaftNode(Process):
                 self.log.extend(entries)
                 self.durable_len = min(self.durable_len, ni)
                 self._charge(self.cfg.append_cpu_ns * len(entries))
+                obs = self.engine.obs
+                if obs is not None:
+                    now = self.engine.now
+                    for _t, payload, _sz in entries:
+                        obs.mark(payload, "accept", now)
                 # etcd followers fsync before acknowledging.
                 end = len(self.log)
                 self.disk.append(lambda end=end, src=src:
@@ -292,6 +303,7 @@ class RaftCluster(BroadcastSystem):
         ldr = self.leader_id()
         if ldr is None:
             return False
+        self.obs_begin(payload)
         self.nodes[ldr].client_broadcast(payload, size_bytes, on_commit)
         return True
 

@@ -151,7 +151,14 @@ class ZabNode(Process):
             if cb is not None:
                 self._cbs[zxid] = cb
             self.acks[zxid] = set()
-            self._bcast(("PROPOSE", zxid, payload, size), size)
+            prop = ("PROPOSE", zxid, payload, size)
+            obs = self.engine.obs
+            if obs is not None:
+                # The PROPOSE tuple is the wire carrier for this payload:
+                # bind it so tcp send/drain milestones attribute to the span.
+                obs.bind(prop, payload)
+                obs.mark(payload, "propose", self.engine.now)
+            self._bcast(prop, size)
             self.disk.append(lambda zxid=zxid: self._on_self_durable(zxid))
             self.engine.trace.count("zab.propose")
 
@@ -182,11 +189,14 @@ class ZabNode(Process):
             self._deliver_upto(zxid)
 
     def _deliver_upto(self, zxid: tuple) -> None:
+        obs = self.engine.obs
         while self.delivered_upto < len(self.log):
             z, payload, _sz = self.log[self.delivered_upto]
             if z > zxid:
                 break
             self.delivered_upto += 1
+            if obs is not None:
+                obs.mark(payload, "commit", self.engine.now)
             self.cluster.record_delivery(self.node_id, payload)
             cb = self._cbs.pop(z, None)
             if cb is not None:
@@ -216,6 +226,9 @@ class ZabNode(Process):
                 self.epoch = zxid[0]
                 self.log.append((zxid, payload, size))
                 self._charge(self.cfg.ack_cpu_ns)
+                obs = self.engine.obs
+                if obs is not None:
+                    obs.mark(msg, "accept", self.engine.now)
                 self.disk.append(lambda zxid=zxid, src=src:
                                  self._send(src, ("ACK", zxid), 16))
         elif kind == "ACK":
@@ -379,6 +392,7 @@ class ZabCluster(BroadcastSystem):
         ldr = self.leader_id()
         if ldr is None:
             return False
+        self.obs_begin(payload)
         self.nodes[ldr].client_broadcast(payload, size_bytes, on_commit)
         return True
 

@@ -93,8 +93,12 @@ class Nic:
             self.tx_bulk_free_at = done
         else:
             self.tx_free_at = done
-        self.tx_bytes += p.wire_bytes(payload_bytes)
+        wire = p.wire_bytes(payload_bytes)
+        self.tx_bytes += wire
         self.tx_msgs += 1
+        obs = self.engine.obs
+        if obs is not None:
+            obs.nic_tx(self.node_id, lane, start, done, wire)
         return done
 
     def power_off(self) -> None:

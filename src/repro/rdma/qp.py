@@ -90,6 +90,14 @@ class QueuePair:
         self._last_delivery_at = deliver_at
         self.engine.schedule_at(deliver_at, self._deliver, region, rkey, key, value, size_bytes)
 
+        obs = self.engine.obs
+        if obs is not None:
+            # Milestones for span-traced carriers (bound payloads only;
+            # unbound values — SST rows, counters — miss the dict in O(1)).
+            obs.mark(value, "nic_tx", tx_done)
+            obs.mark(value, "wire", tx_done + self.params.propagation_ns)
+            obs.mark(value, "deposit", deliver_at)
+
         if signaled:
             covers = self._unsignaled_run + 1
             self._unsignaled_run = 0

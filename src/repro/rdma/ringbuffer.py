@@ -42,6 +42,7 @@ class RingReceiver:
     def __init__(self, ring: "RingBuffer", receiver: int):
         self.ring = ring
         self.receiver = receiver
+        self._engine = ring.fabric.engine
         self._ready: deque[tuple[int, Any, int]] = deque()  # (seq, payload, size)
         self._staged: dict[int, tuple[Any, int]] = {}       # two-write mode staging
         self._visible_upto = -1                              # two-write mode counter
@@ -75,11 +76,15 @@ class RingReceiver:
         """
         out: list[tuple[int, Any]] = []
         ready = self._ready
+        obs = self._engine.obs
+        now = self._engine.now
         while ready and (max_batch is None or len(out) < max_batch):
             seq, payload, _size = ready.popleft()
             out.append((seq, payload))
             self.next_read = seq + 1
             self.delivered_msgs += 1
+            if obs is not None:
+                obs.mark(payload, "poll_notice", now)
         return out
 
     @property

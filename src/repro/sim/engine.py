@@ -106,6 +106,13 @@ class Engine:
         from repro.sim.trace import Tracer
 
         self.trace = Tracer()
+        #: observability attachment point: a
+        #: :class:`~repro.obs.spans.SpanRecorder` (or None).  Every
+        #: instrumentation hook in the stack is gated by
+        #: ``engine.obs is not None``, so a run without a recorder does
+        #: not execute a single extra tracer/RNG operation — the
+        #: zero-cost-when-off guarantee the golden fingerprints pin.
+        self.obs: Optional[Any] = None
 
     # ------------------------------------------------------------------ RNG
 

@@ -147,6 +147,9 @@ class Process:
         if self._next_deschedule is not None:
             self._next_deschedule.cancel()
         self.engine.trace.count("process.crashes")
+        obs = self.engine.obs
+        if obs is not None:
+            obs.process_event("crash", self.name, self.engine.now, self.engine.now)
 
     # --------------------------------------------------------------- poll loop
 
@@ -206,6 +209,10 @@ class Process:
         accumulating in its memory; the backlog drains at the next poll)."""
         self.cpu.stall(duration_ns)
         self.engine.trace.count("process.deschedules")
+        obs = self.engine.obs
+        if obs is not None:
+            obs.process_event("deschedule", self.name, self.engine.now,
+                              self.engine.now + int(duration_ns))
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "crashed" if self.crashed else "up"

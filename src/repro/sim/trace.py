@@ -109,6 +109,14 @@ class Tracer:
         self._sorted.clear()
 
     def summary(self, names: Iterable[str] | None = None) -> dict[str, float]:
-        """Dict of ``series -> mean`` for quick inspection."""
-        keys = list(names) if names is not None else list(self.samples)
-        return {k: self.mean(k) for k in keys}
+        """One flat ``dict[str, int | float]`` of everything recorded:
+        counters verbatim plus sample series as their means, all under
+        their dotted names, routed through the metrics registry so the
+        shape matches :meth:`Substrate.counters` /
+        :meth:`publish_counters`.  ``names`` filters to those metrics.
+        """
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.ingest_tracer(self)
+        return registry.snapshot(names)

@@ -159,23 +159,32 @@ class Substrate(abc.ABC):
         ``rx_msgs``, ``retransmits`` (plus backend extras)."""
 
     def counters(self) -> dict[str, int]:
-        """Cluster-wide totals under the unified counter namespace."""
-        prefix = f"substrate.{self.backend}."
-        out = {prefix + k: v for k, v in self._raw_counters().items()}
-        out[prefix + "partition_drop"] = self.partition_drops
-        return out
+        """Cluster-wide totals under the unified counter namespace, as
+        the same flat dotted-name shape :meth:`Tracer.summary` returns
+        (routed through the metrics registry)."""
+        from repro.obs.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.ingest_namespaced(f"substrate.{self.backend}",
+                                   self._raw_counters())
+        registry.record(f"substrate.{self.backend}.partition_drop",
+                        self.partition_drops)
+        return registry.snapshot()
 
     def publish_counters(self, trace=None) -> dict[str, int]:
         """Snapshot :meth:`counters` into a tracer (default: the
         engine's), so post-run analyses read transport totals from the
         same place as protocol counters.  Called by the harness after a
         run — never from the hot path, so live trace fingerprints are
-        independent of transport accounting."""
+        independent of transport accounting.  Publication goes through
+        the metrics registry: assignment, not increment, so publishing
+        twice does not double-count."""
+        from repro.obs.metrics import MetricsRegistry
+
         tracer = trace if trace is not None else self.engine.trace
-        counts = self.counters()
-        for k, v in counts.items():
-            tracer.counters[k] = v
-        return counts
+        registry = MetricsRegistry()
+        registry.merge(self.counters())
+        return registry.publish(tracer)
 
     def total_tx_bytes(self) -> int:
         """Wire bytes sent by every endpoint (bandwidth benches)."""

@@ -1,0 +1,116 @@
+"""Exporter tests: golden Chrome-trace file, validators, CLI shim."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.obs.export import (CHROME_SCHEMA, TIMELINE_SCHEMA, chrome_trace,
+                              timeline, validate_chrome_trace, validate_file,
+                              validate_timeline)
+from repro.obs.spans import SpanRecorder
+
+GOLDEN = pathlib.Path(__file__).parent / "golden" / "chrome_small.json"
+
+
+def small_recorder() -> SpanRecorder:
+    """A tiny, fully deterministic capture: two messages, one NIC
+    interval, one process deschedule.  Regenerate the golden file with::
+
+        PYTHONPATH=src:tests python -c \
+            "from obs.test_export import regenerate; regenerate()"
+    """
+    rec = SpanRecorder()
+    a, b = ("msg", 0), ("msg", 1)
+    rec.begin(a, 100, label="probe.0")
+    rec.mark(a, "propose", 150)
+    rec.mark(a, "wire", 800)
+    rec.mark(a, "accept", 1500)
+    rec.mark(a, "commit", 2600)
+    rec.finish(a, 3000)
+    rec.begin(b, 2000, label="probe.1")
+    rec.mark(b, "propose", 2100)
+    rec.finish(b, 4500)
+    rec.nic_tx(0, "data", 200, 760, 128)
+    rec.process_event("deschedule", "node1", 1000, 1200)
+    return rec
+
+
+def regenerate() -> None:  # pragma: no cover - manual maintenance hook
+    doc = chrome_trace(small_recorder(), metadata={"purpose": "golden"})
+    GOLDEN.parent.mkdir(exist_ok=True)
+    GOLDEN.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+
+
+def test_chrome_export_matches_golden_file():
+    doc = chrome_trace(small_recorder(), metadata={"purpose": "golden"})
+    assert GOLDEN.exists(), "golden file missing — run regenerate()"
+    assert json.loads(GOLDEN.read_text()) == json.loads(
+        json.dumps(doc, sort_keys=True))
+
+
+def test_chrome_export_is_valid_and_carries_exact_ns():
+    doc = chrome_trace(small_recorder())
+    validate_chrome_trace(doc)
+    assert doc["schema"] == CHROME_SCHEMA
+    xs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+    for ev in xs:
+        # Float µs timestamps are lossy; the integer ns in args are not.
+        assert ev["ts"] == ev["args"]["start_ns"] / 1000.0
+        assert isinstance(ev["args"]["start_ns"], int)
+        assert isinstance(ev["args"]["dur_ns"], int)
+    spans = {e["args"]["msg_id"]: e["args"]["dur_ns"]
+             for e in xs if e.get("cat") == "message"}
+    assert spans == {0: 2900, 1: 2500}
+
+
+def test_timeline_export_is_valid_and_contiguous():
+    rec = small_recorder()
+    doc = timeline(rec, metrics={"x": 1}, metadata={"seed": 7})
+    validate_timeline(doc)
+    assert doc["schema"] == TIMELINE_SCHEMA
+    assert doc["metrics"] == {"x": 1}
+    assert doc["metadata"] == {"seed": 7}
+    m0 = doc["messages"][0]
+    assert m0["label"] == "probe.0"
+    assert [s["phase"] for s in m0["segments"]] == [
+        "propose", "wire", "accept", "commit", "deliver"]
+    assert sum(s["duration_ns"] for s in m0["segments"]) == m0["duration_ns"]
+
+
+def test_validators_reject_broken_sums():
+    doc = chrome_trace(small_recorder())
+    for ev in doc["traceEvents"]:
+        if ev.get("cat") == "phase":
+            ev["args"]["dur_ns"] += 1  # break the exact-sum invariant
+            break
+    with pytest.raises(ValueError, match="segments sum"):
+        validate_chrome_trace(doc)
+
+    tdoc = timeline(small_recorder())
+    tdoc["messages"][0]["segments"][0]["duration_ns"] += 1
+    with pytest.raises(ValueError, match="segments sum"):
+        validate_timeline(tdoc)
+
+
+def test_validators_reject_wrong_schema():
+    with pytest.raises(ValueError, match="schema"):
+        validate_chrome_trace({"schema": "bogus", "traceEvents": []})
+    with pytest.raises(ValueError, match="schema"):
+        validate_timeline({"schema": "bogus", "messages": []})
+
+
+def test_validate_file_round_trip(tmp_path):
+    doc = chrome_trace(small_recorder())
+    path = tmp_path / "trace.json"
+    path.write_text(json.dumps(doc))
+    assert "valid repro.obs.chrome/v1 (2 message spans)" in validate_file(str(path))
+
+    tpath = tmp_path / "timeline.json"
+    tpath.write_text(json.dumps(timeline(small_recorder())))
+    assert "valid repro.obs.timeline/v1 (2 message spans)" in validate_file(str(tpath))
+
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps({"schema": "nope"}))
+    with pytest.raises(ValueError, match="unknown schema"):
+        validate_file(str(bad))

@@ -1,0 +1,105 @@
+"""Tests for the metrics registry and the one-flat-dict contract.
+
+Satellite of the observability PR: ``Tracer.summary()``,
+``Substrate.counters()`` and ``publish_counters()`` must all return the
+same flat ``dict[str, int | float]`` shape with dotted names, because
+they all route through :class:`~repro.obs.metrics.MetricsRegistry`.
+"""
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.sim.trace import Tracer
+
+
+def test_record_and_snapshot_sorted():
+    reg = MetricsRegistry()
+    reg.record("b.two", 2)
+    reg.record("a.one", 1.5)
+    assert reg.snapshot() == {"a.one": 1.5, "b.two": 2}
+    assert list(reg.snapshot()) == ["a.one", "b.two"]
+
+
+def test_record_validates_names_and_values():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.record("", 1)
+    with pytest.raises(ValueError):
+        reg.record(None, 1)
+    with pytest.raises(TypeError):
+        reg.record("x", "not a number")
+    with pytest.raises(TypeError):
+        reg.record("x", True)  # bools are not metrics
+
+
+def test_last_write_wins():
+    reg = MetricsRegistry()
+    reg.record("x", 1)
+    reg.record("x", 7)
+    assert reg["x"] == 7
+    assert len(reg) == 1
+
+
+def test_ingest_namespaced_prefixes_keys():
+    reg = MetricsRegistry()
+    reg.ingest_namespaced("substrate.rdma", {"tx_msgs": 3, "tx_bytes": 90})
+    assert reg.snapshot() == {"substrate.rdma.tx_bytes": 90,
+                              "substrate.rdma.tx_msgs": 3}
+
+
+def test_ingest_tracer_counters_verbatim_samples_as_means():
+    t = Tracer()
+    t.count("acuerdo.commit", 5)
+    t.sample("lat_ns", 10)
+    t.sample("lat_ns", 30)
+    reg = MetricsRegistry()
+    reg.ingest_tracer(t)
+    assert reg["acuerdo.commit"] == 5
+    assert reg["lat_ns"] == 20.0
+
+
+def test_snapshot_names_filter():
+    reg = MetricsRegistry()
+    reg.merge({"a": 1, "b": 2, "c": 3})
+    assert reg.snapshot(names=["a", "c", "missing"]) == {"a": 1, "c": 3}
+
+
+def test_publish_assigns_not_increments():
+    reg = MetricsRegistry()
+    reg.record("substrate.rdma.tx_msgs", 10)
+    t = Tracer()
+    reg.publish(t)
+    reg.publish(t)  # re-publish must not double-count
+    assert t.counters["substrate.rdma.tx_msgs"] == 10
+
+
+def test_tracer_summary_routes_through_registry():
+    t = Tracer()
+    t.count("proto.commit", 4)
+    t.sample("obs.delivery_latency_ns", 100)
+    t.sample("obs.delivery_latency_ns", 200)
+    s = t.summary()
+    assert s == {"proto.commit": 4, "obs.delivery_latency_ns": 150.0}
+    assert t.summary(names=["proto.commit"]) == {"proto.commit": 4}
+
+
+def test_substrate_counters_share_the_flat_shape():
+    """Substrate.counters() and Tracer.summary() agree on the shape:
+    flat dotted names, int/float values, key-sorted."""
+    from repro.harness import RunSpec, build_from_spec, settle
+
+    spec = RunSpec(system="acuerdo", n=3, payload_bytes=10)
+    system = build_from_spec(spec)
+    settle(system)
+    counters = system.substrate.counters()
+    assert counters
+    assert all(isinstance(k, str) and k.startswith("substrate.rdma.")
+               for k in counters)
+    assert all(isinstance(v, (int, float)) for v in counters.values())
+    assert list(counters) == sorted(counters)
+
+    published = system.substrate.publish_counters()
+    assert published == counters
+    summary = system.substrate.engine.trace.summary()
+    for k, v in counters.items():
+        assert summary[k] == v

@@ -1,0 +1,73 @@
+"""Property test: span children sum exactly to the delivery latency.
+
+For every §4 system (and the DARE/Mu extensions), a captured run must
+produce message spans whose phase-segment durations sum — in integer
+sim-ns, exact equality — to the span duration, which is itself the
+value sampled into the tracer as ``obs.delivery_latency_ns``.  Both
+exporters must validate the same documents.
+"""
+
+import pytest
+
+from repro.harness import RunSpec
+from repro.harness.factory import EXTENSION_SYSTEMS, SYSTEMS
+from repro.obs import capture_run, validate_chrome_trace, validate_timeline
+
+ALL_SYSTEMS = SYSTEMS + EXTENSION_SYSTEMS
+
+
+@pytest.fixture(scope="module")
+def captures():
+    out = {}
+    for name in ALL_SYSTEMS:
+        spec = RunSpec(system=name, n=3, payload_bytes=32, window=4,
+                       duration_ms=4.0, seed=2, capture_spans=True)
+        out[name] = capture_run(spec, min_completions=40)
+    return out
+
+
+@pytest.mark.parametrize("name", ALL_SYSTEMS)
+def test_children_sum_exactly_to_span(captures, name):
+    res = captures[name]
+    assert res.messages, f"{name}: no spans captured"
+    for span in res.messages:
+        child_sum = sum(seg.duration_ns for seg in span.segments)
+        assert child_sum == span.duration_ns == span.end_ns - span.start_ns
+        prev = span.start_ns
+        for seg in span.segments:
+            assert seg.start_ns == prev, f"{name}: gap in span {span.msg_id}"
+            prev = seg.end_ns
+
+
+@pytest.mark.parametrize("name", ALL_SYSTEMS)
+def test_span_durations_are_the_latency_samples(captures, name):
+    res = captures[name]
+    tracer = res.recorder.tracer
+    samples = tracer.series("obs.delivery_latency_ns")
+    assert samples == [s.duration_ns for s in res.messages]
+    assert tracer.get("obs.messages_traced") == len(res.messages)
+
+
+@pytest.mark.parametrize("name", ALL_SYSTEMS)
+def test_exports_validate(captures, name):
+    res = captures[name]
+    validate_chrome_trace(res.chrome())
+    validate_timeline(res.timeline())
+
+
+def test_rdma_systems_trace_substrate_phases(captures):
+    """Acuerdo spans must resolve the substrate-level phases, not just
+    protocol milestones — that is the point of the span tree."""
+    phases = set()
+    for span in captures["acuerdo"].messages:
+        phases.update(seg.phase for seg in span.segments)
+    for expected in ("propose", "nic_tx", "wire", "deposit", "poll_notice",
+                     "accept", "commit", "deliver"):
+        assert expected in phases, f"acuerdo spans never hit {expected}"
+
+
+def test_metrics_fold_tracer_and_substrate(captures):
+    snap = captures["acuerdo"].metrics.snapshot()
+    assert "obs.messages_traced" in snap
+    assert "obs.delivery_latency_ns" in snap
+    assert any(k.startswith("substrate.rdma.") for k in snap)

@@ -33,6 +33,35 @@ def test_crash_at_stops_node():
     assert inj.alive() == [0, 2]
 
 
+def test_methods_accept_process_objects():
+    """Every injector method takes either a node id or the Process."""
+    e = Engine(seed=1)
+    procs = _cluster(e)
+    inj = FailureInjector(e, procs)
+    inj.crash_at(us(5), procs[1])
+    inj.slow_node(procs[2], 10.0)
+    inj.deschedule_at(us(1), procs[0], us(3))
+    e.run(until=us(20))
+    assert procs[1].crashed
+    assert inj.alive() == [0, 2]
+    assert procs[0].ticks > 5 * procs[2].ticks
+
+
+def test_id_and_process_forms_are_equivalent():
+    e1 = Engine(seed=2)
+    p1 = _cluster(e1)
+    FailureInjector(e1, p1).crash_at(us(5), 1)
+    e1.run(until=us(10))
+
+    e2 = Engine(seed=2)
+    p2 = _cluster(e2)
+    FailureInjector(e2, p2).crash_at(us(5), p2[1])
+    e2.run(until=us(10))
+
+    assert [p.ticks for p in p1] == [p.ticks for p in p2]
+    assert [p.crashed for p in p1] == [p.crashed for p in p2]
+
+
 def test_unknown_node_raises():
     e = Engine(seed=1)
     inj = FailureInjector(e, _cluster(e))
