@@ -38,7 +38,9 @@ class AcuerdoClientPort(Process):
         super().__init__(cluster.engine, node_id, config, name=f"client{node_id}")
         self.cluster = cluster
         fabric = cluster.fabric
-        fabric.add_node(node_id)
+        # Reply deposits into the client's mailbox ring its doorbell, so
+        # the poll loop can park between replies.
+        fabric.add_node(node_id).waker = self
         # Request mailboxes live at every replica (any of them may lead).
         self._req_boxes: dict[int, Mailbox] = {
             nid: Mailbox(fabric, nid, f"req.{node_id}.{nid}")
@@ -68,6 +70,10 @@ class AcuerdoClientPort(Process):
         self._charge_doorbell()
         self._req_boxes[target].send(self.node_id, (req_id, payload, size_bytes),
                                      size_bytes + 16)
+        # request() runs outside on_poll and advances this CPU's
+        # busy_until; a parked loop must resume so its poll schedule
+        # re-derives from the new busy time exactly as an unparked one.
+        self.request_poll()
         return req_id
 
     def _charge_doorbell(self) -> None:
@@ -81,6 +87,16 @@ class AcuerdoClientPort(Process):
             cb = self._pending.pop(req_id, None)
             if cb is not None:
                 cb(req_id)
+
+    def park_ready(self) -> bool:
+        # Idle whenever no reply is waiting; reply deposits and request()
+        # both ring the doorbell.
+        return self._reply_box.backlog == 0
+
+    def request_backlog(self, replica_id: int) -> int:
+        """Requests deposited at ``replica_id`` and not yet drained (the
+        replica's park-ready predicate checks this)."""
+        return self._req_boxes[replica_id].backlog
 
     # ---------------------------------------------------------- replica side
 

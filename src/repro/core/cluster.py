@@ -61,6 +61,12 @@ class AcuerdoCluster(BroadcastSystem):
         self.client_ports: list = []
         self.nodes: dict[int, AcuerdoNode] = {
             i: AcuerdoNode(self, i, self.cfg) for i in self.node_ids}
+        # Poll-elision doorbells: every one-sided deposit into a node's
+        # memory (ring slots, SST rows, client mailboxes) wakes its poll
+        # loop if parked.  Bound here because replicas never go through
+        # fabric.attach().
+        for i, node in self.nodes.items():
+            self.fabric.nic(i).waker = node
         self._leader_hint: Optional[int] = None
 
     def register_client_port(self, port) -> None:

@@ -173,6 +173,58 @@ class AcuerdoNode(Process):
         if now - self._last_gc >= cfg.gc_period_ns:
             self._maybe_gc()
 
+    # --------------------------------------------------------- poll elision
+
+    def park_ready(self) -> bool:
+        """on_poll is a no-op right now iff nothing is drainable and no
+        commit is ready.  Every input that can change that rings the
+        doorbell: ring deposits, SST writes and mailbox deposits all ride
+        the QP delivery path, and client_broadcast calls request_poll."""
+        if self.role is Role.ELECTING:
+            return False
+        for rr in self._ring_mirrors:
+            if rr._ready:
+                return False
+        for port in self._client_ports:
+            if port.request_backlog(self.node_id):
+                return False
+        if self._commit_ready():
+            return False
+        if self.role is Role.LEADER:
+            if self.pending_client or self._pending_diffs:
+                return False
+            # A persistent higher-epoch vote awaits the rate-limited
+            # stranded-voter reaction: keep polling through it.
+            if max_vote(self._vote_sst.snapshot(self.node_id)).e_new > self.E_cur:
+                return False
+        return True
+
+    def park_deadline(self) -> Optional[int]:
+        """Earliest instant a time-triggered branch of on_poll could act:
+        the commit-row heartbeat push, log GC, and the failure-detector
+        expiries (peer eviction for leaders, leader timeout for
+        followers).  Early bounds are safe — an over-woken poll re-parks."""
+        cfg = self.cfg
+        d = self._last_commit_push + cfg.commit_push_period_ns
+        t = self._last_gc + cfg.gc_period_ns
+        if t < d:
+            d = t
+        if self.role is Role.LEADER:
+            horizon = 3 * cfg.leader_timeout_ns + 1
+            for p in self.peers:
+                if p == self.node_id or p in self._evicted:
+                    continue
+                t = self._peer_hb.get(p, (-1, 0))[1] + horizon
+                if t < d:
+                    d = t
+        else:
+            ldr = self.E_cur.leader
+            if ldr != self.node_id:
+                t = self._peer_hb.get(ldr, (-1, 0))[1] + cfg.leader_timeout_ns + 1
+                if t < d:
+                    d = t
+        return d
+
     # ------------------------------------------------------ Fig. 4: broadcast
 
     def client_broadcast(self, payload: Any, size: int,
@@ -184,6 +236,9 @@ class AcuerdoNode(Process):
         there — a deposed leader's queue is re-routed by the cluster).
         """
         self.pending_client.append((payload, size, on_commit))
+        # Local-state doorbell: a parked leader resumes polling at the
+        # first tick that would see this entry (no-op when unparked).
+        self.request_poll()
 
     def _pump_client_queue(self) -> None:
         while self._pending_diffs:

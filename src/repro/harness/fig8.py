@@ -42,7 +42,8 @@ class Fig8Point:
 
 
 def point(spec: RunSpec, min_completions: int = 400,
-          substrate_params: Optional[CostModel] = None) -> Fig8Point:
+          substrate_params: Optional[CostModel] = None,
+          collect: Optional[dict] = None) -> Fig8Point:
     """Measure one Fig. 8 point on a fresh cluster described by ``spec``.
 
     The run length adapts to the system's speed: it extends in chunks
@@ -67,6 +68,11 @@ def point(spec: RunSpec, min_completions: int = 400,
     res = client.result()
     counters = system.substrate_counters()
     backend = system.substrate.backend if system.substrate else ""
+    if collect is not None:
+        # Host-cost side channel (Fig8Point itself is frozen: it is the
+        # behavioral fingerprint recorded in BENCH_host_perf.json).
+        collect["events_executed"] = engine.events_executed
+        collect["sim_ns"] = engine.now
     return Fig8Point(
         system=spec.system,
         n=spec.n,

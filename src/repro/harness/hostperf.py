@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -66,30 +67,136 @@ REFERENCE_POINTS: dict[str, dict[str, Any]] = {
 SWEEP_CHECK_SPEC = RunSpec(system="acuerdo", n=3, payload_bytes=100, seed=5)
 SWEEP_CHECK = dict(min_completions=60, max_window=8)
 
+#: The poll-elision showcase: a low-rate Acuerdo deployment where most
+#: polls observe nothing, so the doorbell/parking machinery should elide
+#: the bulk of the executed events without changing the simulated
+#: result.  The commit-push (heartbeat) period is widened to 20 us — a
+#: lightly loaded deployment — because the heartbeat cadence is the
+#: floor on how long an idle replica can stay parked.
+DOORBELL_POINT: dict[str, Any] = {
+    "system": "acuerdo",
+    "n": 3,
+    "seed": 7,
+    "payload_bytes": 64,
+    "period_ns": 50_000,          # one open-loop message per 50 us
+    "duration_ms": 50,
+    "commit_push_period_ns": 20_000,
+}
 
-def run_reference_point(backend: str):
+#: Parking must buy at least this factor in executed events on the
+#: doorbell point (the acceptance bar for the elision machinery).
+DOORBELL_MIN_EVENT_REDUCTION = 3.0
+
+#: Executed-event ceilings for the reference points with parking on
+#: (machine-independent, like the behavioral fingerprints).  ``--check``
+#: fails if a reference run executes more events than this — the
+#: bench-smoke guard against poll-elision regressions.  Values are the
+#: measured counts plus ~25% headroom.
+EVENT_CEILINGS: dict[str, int] = {
+    "rdma": 95_000,     # measured 73_901 with parking on
+    "tcp": 145_000,     # measured 112_533 with parking on
+}
+
+
+def run_reference_point(backend: str, collect: Optional[dict] = None):
     """Execute the reference workload for one backend; returns Fig8Point."""
     ref = REFERENCE_POINTS[backend]
-    return point(ref["spec"], min_completions=ref["min_completions"])
+    return point(ref["spec"], min_completions=ref["min_completions"],
+                 collect=collect)
 
 
 def measure(repeats: int = 3) -> dict[str, dict[str, Any]]:
     """Best-of-``repeats`` wall-clock seconds per backend, plus the
-    simulated result (identical across repeats — it is asserted)."""
+    simulated result (identical across repeats — it is asserted) and the
+    executed-event count with its events/wall-second rate."""
     out: dict[str, dict[str, Any]] = {}
     for backend in sorted(REFERENCE_POINTS):
         best = float("inf")
         point = None
+        events = None
         for _ in range(repeats):
+            collect: dict[str, Any] = {}
             t0 = time.perf_counter()
-            p = run_reference_point(backend)
+            p = run_reference_point(backend, collect)
             best = min(best, time.perf_counter() - t0)
             if point is None:
-                point = p
-            elif point != p:
+                point, events = p, collect["events_executed"]
+            elif point != p or events != collect["events_executed"]:
                 raise AssertionError(
                     f"{backend}: reference point not deterministic across repeats")
-        out[backend] = {"seconds": round(best, 4), "point": asdict(point)}
+        out[backend] = {"seconds": round(best, 4),
+                        "events": events,
+                        "events_per_wall_s": round(events / best) if best else 0,
+                        "point": asdict(point)}
+    return out
+
+
+def _run_doorbell_point() -> tuple[float, int, dict[str, Any]]:
+    """One execution of the doorbell workload under the current
+    ``REPRO_PARK`` setting: (wall seconds, executed events, behaviour)."""
+    from repro.core.cluster import AcuerdoCluster
+    from repro.core.config import AcuerdoConfig
+    from repro.sim.engine import Engine, ms
+    from repro.workloads.openloop import OpenLoopClient
+
+    ref = DOORBELL_POINT
+    t0 = time.perf_counter()
+    engine = Engine(seed=ref["seed"])
+    cfg = AcuerdoConfig(commit_push_period_ns=ref["commit_push_period_ns"])
+    cluster = AcuerdoCluster(engine, ref["n"], config=cfg)
+    cluster.preseed_leader(0)
+    cluster.start()
+    client = OpenLoopClient(cluster, period_ns=ref["period_ns"],
+                            message_size=ref["payload_bytes"])
+    client.start()
+    engine.run(until=engine.now + ms(ref["duration_ms"]))
+    client.stop()
+    secs = time.perf_counter() - t0
+    behaviour = {
+        "committed": client.committed,
+        "delivered": sorted(cluster.deliveries.counts.items()),
+        "fingerprint": repr(engine.trace.fingerprint()),
+        "leader": cluster.leader_id(),
+        "sim_now_ns": engine.now,
+    }
+    return secs, engine.events_executed, behaviour
+
+
+def doorbell_section() -> dict[str, Any]:
+    """Run the low-rate doorbell point with parking on and off.
+
+    Returns wall time and executed events for both, the event-reduction
+    factor, and whether the simulated results matched (they must: the
+    park/wake machinery is defined to be behaviour-preserving)."""
+    out: dict[str, Any] = {}
+    prior = os.environ.get("REPRO_PARK")
+    try:
+        for label, flag in (("parked", "1"), ("unparked", "0")):
+            os.environ["REPRO_PARK"] = flag
+            best = float("inf")
+            events = None
+            behaviour = None
+            for _ in range(2):
+                secs, ev, beh = _run_doorbell_point()
+                best = min(best, secs)
+                if events is None:
+                    events, behaviour = ev, beh
+                elif events != ev or behaviour != beh:
+                    raise AssertionError(
+                        "doorbell point not deterministic across repeats")
+            out[label] = {"seconds": round(best, 4), "events": events,
+                          "point": behaviour}
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_PARK", None)
+        else:
+            os.environ["REPRO_PARK"] = prior
+    parked, unparked = out["parked"], out["unparked"]
+    out["event_reduction"] = round(unparked["events"] / parked["events"], 2) \
+        if parked["events"] else float("inf")
+    out["wall_speedup"] = round(unparked["seconds"] / parked["seconds"], 3) \
+        if parked["seconds"] else float("inf")
+    out["identical_point"] = parked["point"] == unparked["point"]
     return out
 
 
@@ -165,6 +272,27 @@ def write_bench(path: pathlib.Path, repeats: int = 3,
             failures.append(
                 f"reference fingerprints drifted for backends {drift}: "
                 "simulated behaviour changed, not just host speed")
+
+    if check:
+        for backend in sorted(REFERENCE_POINTS):
+            ceiling = EVENT_CEILINGS.get(backend)
+            got = current[backend]["events"]
+            if ceiling is not None and got > ceiling:
+                failures.append(
+                    f"{backend}: reference point executed {got} events, "
+                    f"over the EVENT_CEILINGS bench-smoke bound {ceiling} "
+                    "(poll-elision regression?)")
+
+    db = doorbell_section()
+    doc["doorbell"] = db
+    if not db["identical_point"]:
+        failures.append(
+            "doorbell point: parked and unparked runs produced different "
+            "simulated results (poll elision changed behaviour)")
+    if db["event_reduction"] < DOORBELL_MIN_EVENT_REDUCTION:
+        failures.append(
+            f"doorbell point: event reduction {db['event_reduction']}x is "
+            f"below the {DOORBELL_MIN_EVENT_REDUCTION}x bar")
 
     if not capture_baseline:
         eq = sweep_equivalence(workers=sweep_workers)

@@ -92,11 +92,17 @@ class TcpEndpoint(Endpoint):
         """The owning process's node id."""
         return self.process.node_id
 
-    def deliver(self, src: int, payload: Any, size: int) -> None:
+    def deliver(self, src: int, payload: Any, size: int,
+                posted_at: int = 0) -> None:
         """Called by the network when a message reaches this host's kernel."""
         if self.process.crashed:
             return
         self.inbox.append((src, payload, size))
+        # Poll-elision doorbell first: a parked poll loop resumes at the
+        # first *regular* tick >= now.  With poll gaps shorter than the
+        # wakeup latency below, that regular tick is what drains the
+        # inbox in the unparked schedule too.
+        self.process.doorbell(posted_at)
         # epoll/interrupt: wake the process (RDMA receivers never get this).
         self.process.wake(self._wakeup_ns)
 
@@ -176,7 +182,8 @@ class TcpNetwork(Substrate):
         key = (src, dst)
         deliver_at = max(deliver_at, self._last_delivery.get(key, 0) + 1)
         self._last_delivery[key] = deliver_at
-        self.engine.schedule_at(deliver_at, self._deliver, dst, src, payload, size_bytes)
+        self.engine.schedule_at(deliver_at, self._deliver, dst, src, payload, size_bytes,
+                                self.engine.now)
         obs = self.engine.obs
         if obs is not None:
             # Span milestones for traced carriers (dict miss otherwise).
@@ -184,10 +191,11 @@ class TcpNetwork(Substrate):
             obs.mark(payload, "wire", tx_done + p.propagation_ns)
             obs.mark(payload, "deposit", deliver_at)
 
-    def _deliver(self, dst: int, src: int, payload: Any, size: int) -> None:
+    def _deliver(self, dst: int, src: int, payload: Any, size: int,
+                 posted_at: int = 0) -> None:
         ep = self.endpoints.get(dst)
         if ep is not None:
-            ep.deliver(src, payload, size)
+            ep.deliver(src, payload, size, posted_at)
 
     # ------------------------------------------------------------ accounting
 

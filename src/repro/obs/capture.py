@@ -110,6 +110,7 @@ def capture_run(spec: Any, *, min_completions: Optional[int] = None,
 
     metrics = MetricsRegistry()
     metrics.ingest_tracer(engine.trace)
+    metrics.ingest_engine(engine)
     if getattr(system, "substrate", None) is not None:
         metrics.ingest_substrate(system.substrate)
     return CaptureResult(spec=spec, recorder=recorder, metrics=metrics,

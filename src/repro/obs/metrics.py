@@ -62,6 +62,13 @@ class MetricsRegistry:
         if substrate is not None:
             self.merge(substrate.counters())
 
+    def ingest_engine(self, engine: Any) -> None:
+        """Fold the engine's execution totals in: ``engine.events`` is
+        the lifetime executed-event count (the host-cost proxy that the
+        poll-elision work drives down) and ``engine.now_ns`` the clock."""
+        self.record("engine.events", engine.events_executed)
+        self.record("engine.now_ns", engine.now)
+
     # ------------------------------------------------------------- publish
 
     def publish(self, tracer: Any) -> dict[str, Number]:

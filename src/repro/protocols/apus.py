@@ -87,11 +87,28 @@ class ApusNode(Process):
         cpu = self.cpu
         cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(cost * cpu.speed_factor)
 
+    # --------------------------------------------------------- poll elision
+
+    def park_ready(self) -> bool:
+        """The APUS leader pushes its commit row + heartbeat on *every*
+        poll, so its loop is never idle and never parks.  Acceptors are
+        idle between periodic acks whenever nothing has landed."""
+        if self.is_leader:
+            return False
+        if self.cluster.log_inboxes[self.node_id]:
+            return False
+        return self.cluster.delivered.get(self.node_id, 0) >= self.seen_commit
+
+    def park_deadline(self) -> Optional[int]:
+        # Next periodic acknowledgment push (>= comparison).
+        return self._last_ack_push + self.cfg.ack_push_period_ns
+
     # ---------------------------------------------------------------- leader
 
     def client_broadcast(self, payload: Any, size: int,
                          on_commit: Optional[CommitCallback] = None) -> None:
         self.pending.append((payload, size, on_commit))
+        self.request_poll()
 
     def _leader_step(self) -> None:
         c = self.cluster
@@ -242,6 +259,10 @@ class ApusCluster(BroadcastSystem):
                                            row_size_bytes=20, initial=None)
         self.nodes: dict[int, ApusNode] = {i: ApusNode(self, i, self.cfg)
                                            for i in self.node_ids}
+        # Poll-elision doorbells: batch writes, ack rows and commit rows
+        # all arrive as one-sided writes and wake a parked acceptor.
+        for i, nd in self.nodes.items():
+            self.fabric.nic(i).waker = nd
         self.nodes[0].is_leader = True
         self._failover_scheduled = False
 
@@ -275,6 +296,9 @@ class ApusCluster(BroadcastSystem):
                 nd.batch_in_flight = None
                 self.leader = new
                 self.engine.trace.count("apus.failover")
+                # Promotion happened outside nd's poll loop; wake it so
+                # the (never-parking) leader cadence starts at its next tick.
+                nd.request_poll()
         self.engine.schedule(self.cfg.heartbeat_timeout_ns, self._watchdog)
 
     def processes(self):

@@ -111,11 +111,45 @@ class DareNode(Process):
                 self._reset_timer()
         self._deliver()
 
+    # --------------------------------------------------------- poll elision
+
+    def park_ready(self) -> bool:
+        """Idle iff no chain can advance, nothing is drainable and no
+        commit is deliverable.  Log/commit-row deposits and completions
+        ring the doorbell; election hand-offs call request_poll."""
+        if self.is_leader:
+            if self.pending or len(self.cluster.fabric.nic(self.node_id).cq):
+                return False
+            log_len = len(self.log)
+            nodes = self.cluster.nodes
+            for p, nxt in self._chain_next.items():
+                if (p not in self._chain_phase and not nodes[p].crashed
+                        and nxt < log_len
+                        and nxt - self._acked.get(p, 0) < self.cfg.max_inflight):
+                    return False
+            if self._acked:
+                acks = sorted([log_len] + list(self._acked.values()), reverse=True)
+                if acks[self.cluster.quorum - 1] > self.commit_index:
+                    return False
+        elif self.cluster.log_inboxes[self.node_id]:
+            return False
+        limit = self.commit_index if self.is_leader else self.seen_commit
+        if self.cluster.delivered.get(self.node_id, 0) < limit:
+            return False
+        return True
+
+    def park_deadline(self) -> Optional[int]:
+        if self.is_leader:
+            return self._last_commit_push + self.cfg.commit_push_period_ns
+        # Randomized election timeout: fires at the first tick >= _deadline.
+        return self._deadline
+
     # ---------------------------------------------------------------- leader
 
     def client_broadcast(self, payload: Any, size: int,
                          on_commit: Optional[CommitCallback] = None) -> None:
         self.pending.append((payload, size, on_commit))
+        self.request_poll()
 
     def become_leader(self, term: int) -> None:
         self.is_leader = True
@@ -276,6 +310,10 @@ class DareCluster(BroadcastSystem):
                                            row_size_bytes=24, initial=None)
         self.nodes: dict[int, DareNode] = {i: DareNode(self, i, self.cfg)
                                            for i in self.node_ids}
+        # Poll-elision doorbells: log and commit-SST deposits (and the
+        # leader's completions) wake a parked replica.
+        for i, nd in self.nodes.items():
+            self.fabric.nic(i).waker = nd
         self._election_term = 0
         self._round_votes: dict[int, int] = {}   # term -> votes for candidate
         self._round_voted: dict[int, set] = {}   # term -> acceptors that voted
@@ -318,6 +356,11 @@ class DareCluster(BroadcastSystem):
             nd.pending.extend(old.pending)
             old.pending = []
             nd.become_leader(term)
+            # Both role changes happened outside the victims' poll loops:
+            # the deposed leader must resume acceptor-timeout polling and
+            # the candidate (if not the caller) its replication chains.
+            old.request_poll()
+            nd.request_poll()
         else:
             self.engine.trace.count("dare.split_vote")
 

@@ -191,11 +191,58 @@ class DerechoNode(Process):
         self._seen_sst_version = self.cluster.sst.version(self.node_id)
         self._maybe_push()
 
+    # --------------------------------------------------------- poll elision
+
+    def park_ready(self) -> bool:
+        if self.excluded:
+            # Configured out: on_poll is a permanent no-op.  Park on the
+            # doorbell alone (stray deposits wake, no-op, re-park).
+            return True
+        if self.cluster.bulk_inboxes[self.node_id]:
+            return False
+        for s in self.senders:
+            ring = self.cluster.rings.get(s)
+            if ring is None or self.node_id not in ring._receivers:
+                continue
+            if ring.receiver(self.node_id)._ready:
+                return False
+        if self.cluster.sst.version(self.node_id) != self._seen_sst_version:
+            return False
+        if self.pending_client:
+            return False
+        if (not self.wedged and self.node_id in self.senders
+                and len(self.senders) > 1):
+            # Null hole-filling still owed (e.g. the ring was full).
+            max_round = max(len(self.msgs.get(s, [])) for s in self.senders)
+            if self.sent_rounds < max_round:
+                return False
+        return True
+
+    def park_deadline(self) -> Optional[int]:
+        if self.excluded:
+            return None
+        # The periodic SST heartbeat push (>= comparison) dominates; peer
+        # expiries (strict >) and the wedge timeout (strict >) still bound
+        # the wake when a heartbeat was last seen long ago.
+        d = self._last_push + self.cfg.sst_push_period_ns
+        for p in self.members:
+            if p == self.node_id:
+                continue
+            t = self._peer_hb.get(p, (-1, 0))[1] + self.cfg.heartbeat_timeout_ns + 1
+            if t < d:
+                d = t
+        if self.wedged and self._wedged_at is not None:
+            t = self._wedged_at + self.cfg.wedge_timeout_ns + 1
+            if t < d:
+                d = t
+        return d
+
     # ------------------------------------------------------------------- send
 
     def client_broadcast(self, payload: Any, size: int,
                          on_commit: Optional[CommitCallback] = None) -> None:
         self.pending_client.append((payload, size, on_commit))
+        self.request_poll()
 
     def _maybe_send(self) -> None:
         if self.node_id not in self.senders:
@@ -622,6 +669,10 @@ class DerechoCluster(BroadcastSystem):
                                     signal_interval=self.cfg.signal_interval)
         self.nodes: dict[int, DerechoNode] = {
             i: DerechoNode(self, i, self.cfg) for i in self.node_ids}
+        # Poll-elision doorbells: ring slots, SST rows and RDMC bulk
+        # chunks all arrive as one-sided writes into the node's NIC.
+        for i, nd in self.nodes.items():
+            self.fabric.nic(i).waker = nd
         self._rr_next = 0
 
     def senders_for(self, members: list[int]) -> list[int]:

@@ -88,11 +88,44 @@ class MuNode(Process):
                 self._last_leader_sign = self.engine.now  # rate-limit requests
         self._deliver()
 
+    # --------------------------------------------------------- poll elision
+
+    def park_ready(self) -> bool:
+        """Idle iff nothing to replicate, drain or deliver.  New input
+        rings the doorbell: log writes and commit-row pushes arrive over
+        QPs, completions ring the poster, and client_broadcast /
+        fail-over hand-offs call request_poll."""
+        if self.is_leader:
+            if self.pending or len(self.cluster.fabric.nic(self.node_id).cq):
+                return False
+            log_len = len(self.log)
+            nodes = self.cluster.nodes
+            for p, nxt in self._next_write.items():
+                if (nxt < log_len and not nodes[p].crashed
+                        and nxt - self.commit_index < self.cfg.max_inflight):
+                    return False
+        elif self.cluster.log_inboxes[self.node_id]:
+            return False
+        limit = self.commit_index if self.is_leader else self.seen_commit
+        if self.cluster.delivered.get(self.node_id, 0) < limit:
+            return False
+        return True
+
+    def park_deadline(self) -> Optional[int]:
+        if self.is_leader:
+            # Next commit-row heartbeat push (>= comparison: due exactly
+            # at the period boundary).
+            return self._last_commit_push + self.cfg.commit_push_period_ns
+        # Next possible leader-timeout expiry (strict >: first instant
+        # the detector can fire is one ns past the window).
+        return self._last_leader_sign + self.cfg.heartbeat_timeout_ns + 1
+
     # ---------------------------------------------------------------- leader
 
     def client_broadcast(self, payload: Any, size: int,
                          on_commit: Optional[CommitCallback] = None) -> None:
         self.pending.append((payload, size, on_commit))
+        self.request_poll()
 
     def become_leader(self, term: int) -> None:
         self.is_leader = True
@@ -217,6 +250,10 @@ class MuCluster(BroadcastSystem):
                                            row_size_bytes=24, initial=None)
         self.nodes: dict[int, MuNode] = {i: MuNode(self, i, self.cfg)
                                          for i in self.node_ids}
+        # Poll-elision doorbells: log-region and commit-SST deposits (and
+        # CQ completions) wake a parked replica.
+        for i, nd in self.nodes.items():
+            self.fabric.nic(i).waker = nd
         self._failover_in_progress = False
 
     def _register_log(self, i: int) -> None:
@@ -268,6 +305,8 @@ class MuCluster(BroadcastSystem):
         nd.become_leader(term=self._next_term())
         self._failover_in_progress = False
         self.engine.trace.count("mu.failover_done")
+        # The hand-off mutated the new leader outside its poll loop.
+        nd.request_poll()
 
     def _next_term(self) -> int:
         return max(n.term for n in self.nodes.values()) + 1

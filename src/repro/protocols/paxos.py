@@ -94,11 +94,39 @@ class PaxosNode(Process):
             if self.engine.now - self._last_hb_seen > self.cfg.leader_timeout_ns:
                 self._maybe_take_over()
 
+    # --------------------------------------------------------- poll elision
+
+    def park_ready(self) -> bool:
+        if self.ep.inbox:
+            return False
+        if self.is_proposer and not self.preparing and self.pending:
+            return False
+        return True
+
+    def park_deadline(self) -> Optional[int]:
+        if self.is_proposer:
+            if self.preparing:
+                # Phase 1 outstanding: progress arrives only as PROMISE
+                # messages (doorbell).
+                return None
+            return self._last_hb_sent + self.cfg.heartbeat_period_ns
+        # Takeover: needs now - seen > timeout AND, when a lower-ranked
+        # live node exists, now - seen >= timeout * (1 + rank).  Crashes
+        # re-wake everyone (PaxosCluster.crash), so the stagger term can
+        # be trusted between wakes.
+        seen = self._last_hb_seen
+        live_lower = any(p < self.node_id and not self.cluster.nodes[p].crashed
+                         for p in self.cluster.node_ids)
+        if live_lower:
+            return seen + self.cfg.leader_timeout_ns * (1 + self.node_id)
+        return seen + self.cfg.leader_timeout_ns + 1
+
     # -------------------------------------------------------------- proposer
 
     def client_broadcast(self, payload: Any, size: int,
                          on_commit: Optional[CommitCallback] = None) -> None:
         self.pending.append((payload, size, on_commit))
+        self.request_poll()
 
     def _propose_step(self) -> None:
         while self.pending and len(self.open_instances) < self.cfg.window:
@@ -260,3 +288,12 @@ class PaxosCluster(BroadcastSystem):
                 if best is None or nd.ballot > best.ballot:
                     best = nd
         return best.node_id if best is not None else None
+
+    def crash(self, node_id: int) -> None:
+        super().crash(node_id)
+        # The takeover stagger reads peers' crashed flags; wake parked
+        # survivors so their park deadlines re-derive from the new
+        # liveness picture.
+        for nd in self.nodes.values():
+            if not nd.crashed:
+                nd.request_poll()

@@ -107,6 +107,25 @@ class RaftNode(Process):
         elif now >= self._election_deadline:
             self._start_election()
 
+    # --------------------------------------------------------- poll elision
+
+    def park_ready(self) -> bool:
+        if self.ep.inbox:
+            return False
+        if self.state == self.LEADER and self.pending:
+            return False
+        if self.disk._busy:
+            # WAL sync callbacks run outside the poll loop and advance
+            # busy_until (ACK sends, commit advancement); keep the real
+            # schedule until the device drains.
+            return False
+        return True
+
+    def park_deadline(self) -> Optional[int]:
+        if self.state == self.LEADER:
+            return self._last_hb_sent + self.cfg.heartbeat_period_ns
+        return self._election_deadline
+
     # -------------------------------------------------------------- election
 
     def _start_election(self) -> None:
@@ -136,6 +155,7 @@ class RaftNode(Process):
     def client_broadcast(self, payload: Any, size: int,
                          on_commit: Optional[CommitCallback] = None) -> None:
         self.pending.append((payload, size, on_commit))
+        self.request_poll()
 
     def _leader_step(self) -> None:
         appended = False

@@ -119,11 +119,57 @@ class ZabNode(Process):
         else:
             self._election_step()
 
+    # --------------------------------------------------------- poll elision
+
+    def park_ready(self) -> bool:
+        if self.ep.inbox or self.pending:
+            return False
+        if self.disk._busy:
+            # fsync callbacks fire outside the poll loop and advance
+            # busy_until (ACK sends); stay on the real schedule until
+            # the device drains so those charges land as in the baseline.
+            return False
+        if self.state == self.LOOKING:
+            if self._fle_vote is None:
+                return False
+            agree = sum(1 for v in self._fle_received.values() if v == self._fle_vote)
+            if agree >= self.cluster.quorum and self._fle_vote[1] == self.node_id:
+                return False  # _start_leading due on the next tick
+        return True
+
+    def park_deadline(self) -> Optional[int]:
+        cfg = self.cfg
+        if self.state == self.LEADING:
+            # Heartbeat cadence (>=) dominates; the quorum-contact
+            # step-down can only flip when a follower's last-contact
+            # expires (strict >) or at the leader-grace expiry — waking
+            # early on any of these is a harmless no-op.
+            d = self._last_hb_sent + cfg.heartbeat_period_ns
+            t = self._became_leader_at + cfg.election_timeout_ns + 1
+            if t < d:
+                d = t
+            for p, seen in self._follower_seen.items():
+                if self.cluster.nodes[p].crashed:
+                    continue
+                t = seen + cfg.election_timeout_ns + 1
+                if t < d:
+                    d = t
+            return d
+        if self.state == self.FOLLOWING:
+            return self._last_hb_seen + cfg.election_timeout_ns + 1
+        # LOOKING: re-broadcast a stalled round (strict >), or re-elect
+        # while waiting for the winner's SYNC (strict >, doubled).
+        agree = sum(1 for v in self._fle_received.values() if v == self._fle_vote)
+        if agree >= self.cluster.quorum:
+            return self._fle_round_started + cfg.election_timeout_ns * 2 + 1
+        return self._fle_round_started + cfg.election_timeout_ns + 1
+
     # ------------------------------------------------------------- broadcast
 
     def client_broadcast(self, payload: Any, size: int,
                          on_commit: Optional[CommitCallback] = None) -> None:
         self.pending.append((payload, size, on_commit))
+        self.request_poll()
 
     def _leader_step(self) -> None:
         now = self.engine.now
@@ -351,6 +397,7 @@ class ZabNode(Process):
             # Acuerdo's construction avoids).
             self.engine.trace.count("zab.verify_failed")
             self._enter_election()
+            self.request_poll()
             return
         self.epoch = max(self.epoch, mine[0]) + 1
         self.counter = 0
@@ -363,6 +410,9 @@ class ZabNode(Process):
                 self._send(p, ("SYNC", self.epoch, self.node_id, tuple(self.log)),
                            max(64, log_size))
         self.engine.trace.count("zab.sync_sent")
+        # This ran as a scheduled event, outside the poll loop; the sends
+        # above advanced busy_until, so a parked loop must re-derive.
+        self.request_poll()
 
 
 class ZabCluster(BroadcastSystem):
@@ -401,3 +451,11 @@ class ZabCluster(BroadcastSystem):
             if not nd.crashed and nd.state == ZabNode.LEADING and nd._phase is None:
                 return nd.node_id
         return None
+
+    def crash(self, node_id: int) -> None:
+        super().crash(node_id)
+        # The leader's quorum-contact step-down reads peers' crashed
+        # flags; wake parked survivors so their deadlines re-derive.
+        for nd in self.nodes.values():
+            if not nd.crashed:
+                nd.request_poll()

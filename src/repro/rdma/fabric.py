@@ -121,7 +121,11 @@ class RdmaFabric(Substrate):
         existing = self.endpoints.get(process.node_id)
         if existing is not None:
             return existing
-        self.add_node(process.node_id)
+        nic = self.add_node(process.node_id)
+        # Deposits into this node's registered memory ring its poll loop's
+        # doorbell (poll elision); protocols that skip attach() bind the
+        # waker themselves via fabric.nic(i).waker.
+        nic.waker = process
         ep = RdmaEndpoint(self, process)
         self.endpoints[process.node_id] = ep
         return ep

@@ -17,7 +17,12 @@ from repro.rdma.fabric import RdmaFabric
 
 
 class Mailbox:
-    """A pollable inbox on ``owner`` fed by one-sided writes."""
+    """A pollable inbox on ``owner`` fed by one-sided writes.
+
+    Deposits travel through the fabric's queue pairs, so they ring the
+    owning host's poll-elision doorbell at delivery time: a parked owner
+    wakes at its first poll tick after the record lands (``backlog``
+    going 0 -> nonzero is always doorbell-covered)."""
 
     def __init__(self, fabric: RdmaFabric, owner: int, name: str,
                  size_bytes: int = 1 << 20, signal_interval: int = 1000):

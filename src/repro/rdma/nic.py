@@ -71,6 +71,11 @@ class Nic:
         self.tx_bytes: int = 0
         self.tx_msgs: int = 0
         self.powered = True
+        #: poll-elision doorbell target: the Process that polls memory
+        #: behind this NIC.  When set, every one-sided write applied on
+        #: this node (and every completion pushed to its CQ) rings it so
+        #: a parked poll loop wakes (see Process.doorbell).
+        self.waker: Any = None
         # Cost models are frozen after substrate build; snapshot the
         # per-verb charge so occupy_tx skips the params indirection.
         self._nic_tx_ns = params.nic_tx_ns

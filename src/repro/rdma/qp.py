@@ -88,7 +88,8 @@ class QueuePair:
         # RC FIFO guarantee: never deliver out of order.
         deliver_at = max(deliver_at, self._last_delivery_at + 1)
         self._last_delivery_at = deliver_at
-        self.engine.schedule_at(deliver_at, self._deliver, region, rkey, key, value, size_bytes)
+        self.engine.schedule_at(deliver_at, self._deliver, region, rkey, key, value,
+                                size_bytes, self.engine.now)
 
         obs = self.engine.obs
         if obs is not None:
@@ -110,11 +111,17 @@ class QueuePair:
     # -------------------------------------------------------------- internal
 
     def _deliver(self, region: MemoryRegion, rkey: int, key: Any, value: Any,
-                 size_bytes: int) -> None:
+                 size_bytes: int, posted_at: int = 0) -> None:
         if not self.dst.powered:
             return  # destination host crashed; write is lost with it
         self.delivered += 1
         region.remote_write(rkey, key, value, size_bytes)
+        # Poll-elision doorbell: a deposit landed in this host's memory
+        # (SST row, ring slot, mailbox, log region — every one-sided
+        # write funnels through here), so wake a parked poll loop.
+        waker = self.dst.waker
+        if waker is not None:
+            waker.doorbell(posted_at)
 
     def _complete(self, wr_id: Any, covers: int, posted_at: int) -> None:
         self._outstanding -= covers
@@ -122,6 +129,11 @@ class QueuePair:
             self.src.cq.push(Completion(qp_peer=self.dst.node_id, wr_id=wr_id,
                                         covers=covers, posted_at=posted_at,
                                         completed_at=self.engine.now))
+            # Completions are observed by the poster's poll loop (Mu/DARE
+            # treat them as acknowledgments): ring its doorbell too.
+            waker = self.src.waker
+            if waker is not None:
+                waker.doorbell(posted_at)
 
     @property
     def outstanding(self) -> int:

@@ -50,6 +50,9 @@ class RingReceiver:
         self.delivered_msgs = 0
 
     # Called by the QP at delivery time (no receiver-CPU involvement).
+    # Remote deposits ring the receiving host's poll-elision doorbell in
+    # the QP layer; sender-local mirrors are stored while the sender is
+    # executing, so its own loop is awake by construction.
     def _on_data(self, seq: int, payload: Any, size: int) -> None:
         if self.ring.writes_per_message == 1:
             self._ready.append((seq, payload, size))

@@ -58,8 +58,17 @@ class SharedStateTable:
         self._versions[holder] += 1
 
     def version(self, holder: int) -> int:
-        """Monotone counter bumped whenever ``holder``'s copy changes."""
+        """Monotone counter bumped whenever ``holder``'s copy changes.
+
+        Remote bumps arrive through the QP delivery path, which also
+        rings the holder's poll-elision doorbell — so a parked node never
+        misses a version change (see ``repro.sim.process``)."""
         return self._versions[holder]
+
+    def changed_since(self, holder: int, seen_version: int) -> bool:
+        """True iff ``holder``'s copy changed after ``seen_version`` —
+        the idle test park-ready predicates use."""
+        return self._versions[holder] != seen_version
 
     # ------------------------------------------------------------------ API
 

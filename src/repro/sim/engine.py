@@ -95,6 +95,9 @@ class Engine:
     def __init__(self, seed: int = 0):
         self.seed = seed
         self.now: int = 0
+        #: lifetime count of events executed across all run()/step() calls;
+        #: the harness surfaces it as ``engine.events`` in MetricsRegistry.
+        self.events_executed: int = 0
         # Heap entries are (time, seq, event) tuples: seq is unique, so
         # tuple comparison resolves on the first two ints and never calls
         # into Event — the heap sift runs entirely in C.
@@ -133,12 +136,22 @@ class Engine:
     # ------------------------------------------------------------- schedule
 
     def schedule_at(self, time: int, fn: Callable[..., Any], *args: Any) -> Event:
-        """Schedule ``fn(*args)`` at absolute nanosecond ``time``."""
+        """Schedule ``fn(*args)`` at absolute nanosecond ``time``.
+
+        ``time`` must be integral: a float with a fractional part is a
+        unit bug at the call site (ns are the base unit), so it raises
+        instead of silently truncating.
+        """
+        if type(time) is not int:
+            as_int = int(time)
+            if as_int != time:
+                raise ValueError(f"non-integral timestamp: {time!r}")
+            time = as_int
         if time < self.now:
             raise ValueError(f"cannot schedule in the past: {time} < now {self.now}")
         seq = self._seq
         self._seq = seq + 1
-        ev = Event(int(time), seq, fn, args)
+        ev = Event(time, seq, fn, args)
         ev._engine = self
         heappush(self._heap, (ev.time, seq, ev))
         return ev
@@ -176,23 +189,23 @@ class Engine:
         """Schedule ``fn(*args)`` ``delay`` nanoseconds from now."""
         if delay < 0:
             raise ValueError(f"negative delay: {delay}")
-        return self.schedule_at(self.now + int(delay), fn, *args)
+        if type(delay) is not int:
+            as_int = int(delay)
+            if as_int != delay:
+                raise ValueError(f"non-integral delay: {delay!r}")
+            delay = as_int
+        return self.schedule_at(self.now + delay, fn, *args)
 
     # ------------------------------------------------------------------ run
 
     def step(self) -> bool:
-        """Execute the next pending event.  Returns False when idle."""
-        heap = self._heap
-        while heap:
-            time, _seq, ev = heappop(heap)
-            ev._popped = True
-            if ev.cancelled:
-                self._cancelled_in_heap -= 1
-                continue
-            self.now = time
-            ev.fn(*ev.args)
-            return True
-        return False
+        """Execute the next pending event.  Returns False when idle.
+
+        A one-event :meth:`run`: it shares run()'s pop loop (so cancelled
+        events are skipped and accounted identically) and, like run(),
+        clears a pending :meth:`stop` before executing.
+        """
+        return self.run(max_events=1) == 1
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run events until the heap drains, ``until`` is reached, or
@@ -217,6 +230,7 @@ class Engine:
         self._stopped = False
         while heap and not self._stopped:
             if bounded and executed >= max_events:
+                self.events_executed += executed
                 return executed
             entry = heap[0]
             ev = entry[2]
@@ -233,6 +247,7 @@ class Engine:
             self.now = time
             ev.fn(*ev.args)
             executed += 1
+        self.events_executed += executed
         if until is not None and self.now < until:
             self.now = until
         return executed

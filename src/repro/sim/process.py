@@ -15,10 +15,18 @@ drains it faster than the network refills it.  We reproduce exactly that:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Optional
 
 from repro.sim.engine import Engine, Event, us
+
+
+def park_enabled_default() -> bool:
+    """Whether poll-elision parking is on (the ``REPRO_PARK`` escape
+    hatch: set ``REPRO_PARK=0`` to force every poll tick onto the heap
+    for debugging)."""
+    return os.environ.get("REPRO_PARK", "1") != "0"
 
 
 @dataclass
@@ -42,6 +50,10 @@ class ProcessConfig:
     speed_factor:
         Multiplier applied to every CPU cost and poll gap; > 1 models the
         "long-latency node" of §4.2.
+    allow_park:
+        Poll-elision override: True/False forces parking on/off for this
+        process; None (default) defers to the ``REPRO_PARK`` environment
+        variable (see :func:`park_enabled_default`).
     """
 
     poll_interval_ns: int = 200
@@ -49,6 +61,7 @@ class ProcessConfig:
     deschedule_mean_interval_ns: int = 0
     deschedule_duration_ns: int = us(50)
     speed_factor: float = 1.0
+    allow_park: Optional[bool] = None
 
 
 class Cpu:
@@ -121,6 +134,12 @@ class Process:
         self._poll_event: Optional[Event] = None
         self._rng = engine.rng(f"proc.{self.name}")
         self._next_deschedule: Optional[Event] = None
+        # --- poll-elision (parking) state --------------------------------
+        allow = self.config.allow_park
+        self._park_enabled = park_enabled_default() if allow is None else allow
+        self._parked = False
+        self._park_cursor = 0                       # last virtual poll time
+        self._horizon_event: Optional[Event] = None  # parked deadline event
 
     # ---------------------------------------------------------------- lifecycle
 
@@ -146,6 +165,10 @@ class Process:
             self._poll_event.cancel()
         if self._next_deschedule is not None:
             self._next_deschedule.cancel()
+        if self._horizon_event is not None:
+            self._horizon_event.cancel()
+            self._horizon_event = None
+        self._parked = False
         self.engine.trace.count("process.crashes")
         obs = self.engine.obs
         if obs is not None:
@@ -172,10 +195,119 @@ class Process:
         if self.crashed:
             return
         self.on_poll()
-        self._schedule_poll()
+        if self._can_park():
+            self._park()
+        else:
+            self._schedule_poll()
 
     def on_poll(self) -> None:
         """One iteration of the node's event loop; override in subclasses."""
+
+    # ------------------------------------------------------- poll elision
+
+    # A process whose on_poll would observe nothing can *park*: instead of
+    # scheduling one heap event per poll tick, it keeps a virtual poll
+    # cursor and materialises a single event at the first poll tick >= the
+    # next thing that could make on_poll act — a protocol-declared
+    # *deadline* (heartbeat/election/retransmit timeout) or a *doorbell*
+    # (a substrate deposit into its memory, or a local request_poll()).
+    # The virtual ticks draw the identical per-tick jitter samples from
+    # the same RNG stream, lazily, at wake time — so the poll-time
+    # sequence, RNG consumption and all downstream behaviour are
+    # bit-for-bit what the unparked loop produces (the golden trace
+    # fingerprints pin this).
+
+    def park_ready(self) -> bool:
+        """Override: True iff on_poll is *currently* a no-op — nothing
+        pending, nothing readable, nothing to retransmit.  Default False
+        (never park), so plain processes behave exactly as before."""
+        return False
+
+    def park_deadline(self) -> Optional[int]:
+        """Override: an absolute ns lower bound on the first instant
+        on_poll could stop being a no-op *without new input* (the
+        earliest timeout expiry).  Returning early is always safe — an
+        over-woken poll observes nothing and re-parks; returning late
+        diverges.  None means on_poll can only be unblocked by input
+        (doorbell-only park)."""
+        return None
+
+    def _can_park(self) -> bool:
+        if not self._park_enabled or self.crashed:
+            return False
+        # Deschedule sampling shares this process's RNG stream; parking
+        # would reorder the draws, so it is disabled under deschedules.
+        if self.config.deschedule_mean_interval_ns > 0:
+            return False
+        # A backed-up CPU shifts the next poll to busy_until + 1; the
+        # virtual cursor assumes the plain now + gap schedule.
+        if self.cpu.busy_until > self.engine.now:
+            return False
+        return self.park_ready()
+
+    def _park(self) -> None:
+        deadline = self.park_deadline()
+        now = self.engine.now
+        if deadline is not None and deadline <= now:
+            # Already due: keep polling for real.
+            self._schedule_poll()
+            return
+        self._parked = True
+        self._park_cursor = now
+        self._poll_event = None
+        if deadline is not None:
+            self._horizon_event = self.engine.schedule_at(deadline, self._horizon_fire)
+
+    def _horizon_fire(self) -> None:
+        self._horizon_event = None
+        if self.crashed or not self._parked:
+            return
+        self._wake_at_tick(self.engine.now, None)
+
+    def doorbell(self, posted_at: Optional[int] = None) -> None:
+        """Substrate deposit notification: wake a parked process at the
+        first poll tick that would have observed the deposit.
+
+        ``posted_at`` is the engine time at which the deposit's delivery
+        was scheduled; it disambiguates the exact-tie case where the
+        deposit lands on a virtual poll tick (see _wake_at_tick)."""
+        if self._parked and not self.crashed:
+            self._wake_at_tick(self.engine.now, posted_at)
+
+    def request_poll(self) -> None:
+        """Doorbell for local state changes made outside on_poll (client
+        submissions, failover hand-offs): if parked, wake at the first
+        poll tick >= now.  A no-op on unparked processes, whose regular
+        loop observes the change at its next tick anyway."""
+        if self._parked and not self.crashed:
+            self._wake_at_tick(self.engine.now, None)
+
+    def _wake_at_tick(self, wake_time: int, posted_at: Optional[int]) -> None:
+        """Fast-forward the virtual poll schedule to the first tick >=
+        ``wake_time`` and materialise the poll event there."""
+        prev = self._park_cursor
+        t = prev + self._poll_gap()
+        while t < wake_time:
+            prev = t
+            t = prev + self._poll_gap()
+        if t == wake_time and posted_at is not None and posted_at > prev:
+            # The deposit lands exactly on a poll tick, but its delivery
+            # was scheduled after that tick's event would have been (the
+            # unparked poll was created at the previous tick): the real
+            # poll fires first and misses it.  First observing tick is
+            # the next one.
+            prev = t
+            t = prev + self._poll_gap()
+        self._parked = False
+        if self._horizon_event is not None:
+            self._horizon_event.cancel()
+            self._horizon_event = None
+        self._poll_event = self.engine.schedule_at(t, self._poll_tick)
+
+    @property
+    def parked(self) -> bool:
+        """True while the poll loop is elided (no pending poll event)."""
+        return self._parked
 
     def wake(self, delay_ns: int = 0) -> None:
         """Request an extra poll ``delay_ns`` from now (used by two-sided
