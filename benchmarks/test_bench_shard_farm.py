@@ -1,0 +1,74 @@
+"""Shard-farm benchmark: a 64-group deployment serving 10^5 users.
+
+The paper's evaluation stops at one group; production deployments run
+many (§5 "multiple instances ... partitioned by key").  This bench
+takes the scale-out question seriously: it sweeps a farm of Acuerdo
+groups from 1 to 64 shards under uniform and Zipfian(0.99) key skew at
+10^5 modeled users, printing aggregate throughput, commit-latency
+percentiles and the hottest shard's load share per point.
+
+Shapes this bench verifies:
+
+- aggregate commit throughput tracks the offered rate at every farm
+  width (the farm is open-loop and far from any single group's knee);
+- p99 commit latency stays flat as shards are added — groups share
+  nothing, so farm width buys capacity without a latency tax;
+- under Zipfian(0.99) the hottest shard's load share exceeds the
+  uniform 1/shards share (hot keys hash to somebody), quantifying how
+  far key hashing alone spreads a skewed population.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import WORKERS, emit, run_once
+from repro.harness import render_table
+from repro.harness.runspec import RunSpec
+from repro.harness.shardsweep import ShardPoint, shard_sweep
+
+SHARD_COUNTS = [1, 4, 16, 64]
+SKEWS = [0.0, 0.99]
+USERS = 100_000
+RATE_RPS = 500_000.0
+DURATION_MS = 10.0
+
+
+def _sweep() -> list[ShardPoint]:
+    spec = RunSpec(system="acuerdo", n=3, payload_bytes=64,
+                   workload="openloop", duration_ms=DURATION_MS, seed=9,
+                   users=USERS, arrival_rate=RATE_RPS)
+    return shard_sweep(spec, SHARD_COUNTS, SKEWS, workers=WORKERS)
+
+
+def _render(pts: list[ShardPoint]) -> str:
+    rows = [[p.shards, p.skew, p.committed, round(p.throughput_rps),
+             round(p.mean_latency_us, 1), round(p.p99_latency_us, 1),
+             round(p.hottest_share, 3), p.events_executed]
+            for p in pts]
+    return render_table(
+        f"Shard farm: acuerdo, {USERS} users at {round(RATE_RPS)} req/s, "
+        f"{DURATION_MS} ms",
+        ["shards", "skew", "committed", "tput_rps", "mean_lat_us",
+         "p99_lat_us", "hottest_share", "events"], rows)
+
+
+def test_bench_shard_farm(benchmark, capsys) -> None:
+    pts = run_once(benchmark, _sweep)
+    emit("shard_farm", _render(pts), capsys)
+
+    by_key = {(p.shards, p.skew): p for p in pts}
+    for p in pts:
+        # Open-loop farm far from saturation: commits track offers.
+        assert p.committed >= 0.9 * p.submitted, \
+            f"{p.shards} shards / skew {p.skew}: farm fell behind the " \
+            f"offered load ({p.committed}/{p.submitted})"
+    for skew in SKEWS:
+        one, wide = by_key[(1, skew)], by_key[(64, skew)]
+        # Shared-nothing groups: width must not tax p99 latency.
+        assert wide.p99_latency_us <= 2.0 * one.p99_latency_us, \
+            f"p99 grew from {one.p99_latency_us} to {wide.p99_latency_us} " \
+            f"us going 1 -> 64 shards (skew {skew})"
+    uni, zipf = by_key[(64, 0.0)], by_key[(64, 0.99)]
+    # Zipfian hot keys concentrate load above the uniform share.
+    assert zipf.hottest_share >= uni.hottest_share, \
+        f"Zipfian hottest share {zipf.hottest_share} below uniform " \
+        f"{uni.hottest_share}"

@@ -7,7 +7,9 @@ Usage::
     python -m repro table1 [--sizes 3 5 7 9]
     python -m repro fig9 [--sizes 3 5 7 9]
     python -m repro elections --nodes 5 [--kills 4]
+    python -m repro shard [--shards 1 4 16 64] [--skews 0.0 0.99] [--users 100000]
     python -m repro trace --system acuerdo [--duration-ms 5] [--out t.json]
+    python -m repro trace --shards 8 --users 100000 --skew 0.99  # farm trace
 
 Every subcommand prints the same text tables the benchmarks archive
 under ``results/``; ``trace`` additionally writes a span trace (Chrome
@@ -127,6 +129,29 @@ def _cmd_elections(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_shard(args: argparse.Namespace) -> int:
+    from repro.harness.render import render_table
+    from repro.harness.runspec import RunSpec
+    from repro.harness.shardsweep import shard_sweep
+
+    spec = RunSpec(system=args.system, n=args.nodes,
+                   payload_bytes=args.size, workload="openloop",
+                   duration_ms=args.duration_ms, seed=args.seed,
+                   shards=1, users=args.users, skew=0.0,
+                   arrival_rate=args.rate)
+    pts = shard_sweep(spec, args.shards, args.skews, workers=args.workers)
+    rows = [[p.shards, p.skew, p.committed, round(p.throughput_rps),
+             round(p.mean_latency_us, 1), round(p.p99_latency_us, 1),
+             round(p.hottest_share, 3), p.events_executed]
+            for p in pts]
+    print(render_table(
+        f"Shard farm: {args.system}, {args.users} users at "
+        f"{round(args.rate)} req/s, {args.duration_ms} ms",
+        ["shards", "skew", "committed", "tput_rps", "mean_lat_us",
+         "p99_lat_us", "hottest_share", "events"], rows))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     import json
     import pathlib
@@ -139,7 +164,8 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     spec = RunSpec(system=args.system, n=args.nodes, payload_bytes=args.size,
                    window=args.window, workload=args.workload,
                    duration_ms=args.duration_ms, seed=args.seed,
-                   capture_spans=True)
+                   capture_spans=True, shards=args.shards, users=args.users,
+                   skew=args.skew, arrival_rate=args.rate)
     res = capture_run(spec)
     if args.format == "chrome":
         doc = res.chrome()
@@ -208,6 +234,20 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--kills", type=int, default=4)
     p.set_defaults(fn=_cmd_elections)
 
+    p = sub.add_parser("shard", help="shard-farm sweep: shard count x skew")
+    p.add_argument("--system", default="acuerdo")
+    p.add_argument("--nodes", type=int, default=3,
+                   help="replicas per group")
+    p.add_argument("--size", type=int, default=64)
+    p.add_argument("--shards", type=int, nargs="*", default=[1, 4, 16, 64])
+    p.add_argument("--skews", type=float, nargs="*", default=[0.0, 0.99])
+    p.add_argument("--users", type=int, default=100_000,
+                   help="logical users (aggregate-arrival key space)")
+    p.add_argument("--rate", type=float, default=500_000.0,
+                   help="aggregate request rate (req/s)")
+    p.add_argument("--duration-ms", type=float, default=10.0)
+    p.set_defaults(fn=_cmd_shard)
+
     p = sub.add_parser("trace", help="span-trace one run (Perfetto JSON)")
     p.add_argument("--system", default="acuerdo")
     p.add_argument("--nodes", type=int, default=3)
@@ -216,6 +256,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workload", choices=["closedloop", "openloop", "ycsb"],
                    default="closedloop")
     p.add_argument("--duration-ms", type=float, default=5.0)
+    p.add_argument("--shards", type=int, default=1,
+                   help=">1 traces a shard farm (spans tagged shard.<g>.*)")
+    p.add_argument("--users", type=int, default=0,
+                   help="farm users (shards > 1; 0 = default 10000)")
+    p.add_argument("--skew", type=float, default=0.0,
+                   help="Zipfian skew over farm users (shards > 1)")
+    p.add_argument("--rate", type=float, default=0.0,
+                   help="farm request rate req/s (shards > 1; 0 = default)")
     p.add_argument("--format", choices=["chrome", "timeline"],
                    default="chrome")
     p.add_argument("--out", default=None,

@@ -16,7 +16,9 @@ Cross-cutting plumbing:
 - :mod:`repro.harness.parallel` — the process-pool sweep runner every
   driver fans its independent points through;
 - :mod:`repro.harness.hostperf` — wall-clock timing of a fixed
-  reference workload (``BENCH_host_perf.json``).
+  reference workload (``BENCH_host_perf.json``);
+- :mod:`repro.harness.shardsweep` — shard-farm sweeps over the
+  :mod:`repro.shard` scale-out deployment (shard count × key skew).
 
 The benchmarks in ``benchmarks/`` are thin wrappers over these drivers.
 """
@@ -28,6 +30,7 @@ from repro.harness.runspec import WORKLOADS, RunSpec
 from repro.harness.table1 import table1_elections, table1_all
 from repro.harness.fig9 import fig9_grid, fig9_ycsb
 from repro.harness.render import render_table, render_series
+from repro.harness.shardsweep import ShardPoint, shard_point, shard_sweep
 
 __all__ = [
     "SYSTEMS",
@@ -47,4 +50,7 @@ __all__ = [
     "fig9_ycsb",
     "render_table",
     "render_series",
+    "ShardPoint",
+    "shard_point",
+    "shard_sweep",
 ]

@@ -97,6 +97,20 @@ EVENT_CEILINGS: dict[str, int] = {
     "tcp": 145_000,     # measured 112_533 with parking on
 }
 
+#: The shard-farm reference point: an 8-group Acuerdo farm serving 10^5
+#: logical users under Zipfian(0.99) skew at 500k req/s aggregate.
+#: Exercises the scale-out path (router, scoped groups, aggregate
+#: arrivals) the same way the backend points exercise the substrates.
+SHARD_POINT = RunSpec(system="acuerdo", n=3, seed=9, payload_bytes=64,
+                      workload="openloop", duration_ms=20.0, shards=8,
+                      users=100_000, skew=0.99, arrival_rate=500_000.0)
+
+#: Executed-event ceiling for :data:`SHARD_POINT` (measured 301_200 with
+#: parking on and the farm heartbeat, plus ~25% headroom).  Guards the
+#: per-group event cost of the farm: a regression here multiplies by the
+#: shard count.
+SHARD_EVENT_CEILING = 375_000
+
 
 def run_reference_point(backend: str, collect: Optional[dict] = None):
     """Execute the reference workload for one backend; returns Fig8Point."""
@@ -200,6 +214,32 @@ def doorbell_section() -> dict[str, Any]:
     return out
 
 
+def shard_section(repeats: int = 2) -> dict[str, Any]:
+    """Run :data:`SHARD_POINT` ``repeats`` times: wall time (best of),
+    executed events, events/wall-second, and the simulated result.
+
+    The simulated result must be identical across repeats (the farm is
+    a pure function of the spec) — a mismatch is raised, not reported.
+    """
+    from repro.harness.shardsweep import shard_point
+
+    best = float("inf")
+    result = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        p = shard_point(SHARD_POINT)
+        best = min(best, time.perf_counter() - t0)
+        if result is None:
+            result = p
+        elif result != p:
+            raise AssertionError(
+                "shard-farm point not deterministic across repeats")
+    return {"seconds": round(best, 4),
+            "events": result.events_executed,
+            "events_per_wall_s": round(result.events_executed / best) if best else 0,
+            "point": asdict(result)}
+
+
 def sweep_equivalence(workers: int = 4) -> dict[str, Any]:
     """Render the same small Fig. 8 sweep with ``workers=1`` and
     ``workers=N``; the artifact text must be identical."""
@@ -293,6 +333,14 @@ def write_bench(path: pathlib.Path, repeats: int = 3,
         failures.append(
             f"doorbell point: event reduction {db['event_reduction']}x is "
             f"below the {DOORBELL_MIN_EVENT_REDUCTION}x bar")
+
+    farm = shard_section()
+    doc["shard_farm"] = farm
+    if check and farm["events"] > SHARD_EVENT_CEILING:
+        failures.append(
+            f"shard farm: reference point executed {farm['events']} events, "
+            f"over the SHARD_EVENT_CEILING bench-smoke bound "
+            f"{SHARD_EVENT_CEILING}")
 
     if not capture_baseline:
         eq = sweep_equivalence(workers=sweep_workers)

@@ -46,6 +46,12 @@ class RunSpec:
     seed: int = 1
     workers: int = 1
     capture_spans: bool = False
+    # Sharded-deployment extension (repro.shard); the defaults describe
+    # a plain single-group run, so existing call sites are untouched.
+    shards: int = 1
+    users: int = 0
+    skew: float = 0.0
+    arrival_rate: float = 0.0
 
     def __post_init__(self) -> None:
         from repro.harness.factory import EXTENSION_SYSTEMS, SUBSTRATE_OF, SYSTEMS
@@ -70,6 +76,14 @@ class RunSpec:
             raise ValueError(f"duration_ms must be > 0, got {self.duration_ms}")
         if self.workers < 1:
             raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.shards < 1:
+            raise ValueError(f"shards must be >= 1, got {self.shards}")
+        if self.users < 0:
+            raise ValueError(f"users must be >= 0, got {self.users}")
+        if not 0.0 <= self.skew < 1.0:
+            raise ValueError(f"skew must be in [0, 1), got {self.skew}")
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival_rate must be >= 0, got {self.arrival_rate}")
 
     # -------------------------------------------------------------- derived
 

@@ -61,6 +61,8 @@ def capture_run(spec: Any, *, min_completions: Optional[int] = None,
     spec = spec.replace(capture_spans=True)
     engine = spec.make_engine()
     recorder = engine.obs
+    if spec.shards > 1:
+        return _capture_sharded(spec, engine, recorder)
     system = build_system(spec.system, engine, spec.n,
                           substrate_params=substrate_params)
     settle(system)
@@ -115,3 +117,37 @@ def capture_run(spec: Any, *, min_completions: Optional[int] = None,
         metrics.ingest_substrate(system.substrate)
     return CaptureResult(spec=spec, recorder=recorder, metrics=metrics,
                         result=result)
+
+
+def _capture_sharded(spec: Any, engine: Any, recorder: SpanRecorder) -> CaptureResult:
+    """The shard-farm capture path: ``spec.shards`` groups behind the
+    router, driven by the aggregate Poisson/Zipfian arrival process.
+
+    Spans and process/NIC events come out tagged with the groups'
+    ``shard.<g>.*`` identities (labels like ``shard.3.acuerdo.msg``),
+    so the exported trace separates per shard; per-shard routing and
+    substrate counters land in the metrics under ``shard.<g>.*``.
+    """
+    from repro.harness.shardsweep import farm_group_config
+    from repro.shard import ShardedDeployment, aggregate_client
+    from repro.sim.engine import ms
+
+    dep = ShardedDeployment(engine, system=spec.system, shards=spec.shards,
+                            n=spec.n, group_config=farm_group_config(spec))
+    dep.settle()
+    users = spec.users if spec.users >= 1 else 10_000
+    rate = spec.arrival_rate if spec.arrival_rate > 0 else 100_000.0
+    client = aggregate_client(dep, users=users, rate_rps=rate,
+                              skew=spec.skew,
+                              message_size=spec.payload_bytes)
+    client.start()
+    engine.run(until=engine.now + ms(spec.duration_ms))
+    client.stop()
+    engine.run(until=engine.now + ms(1))
+
+    metrics = MetricsRegistry()
+    metrics.ingest_tracer(engine.trace)
+    metrics.ingest_engine(engine)
+    dep.metrics(metrics)
+    return CaptureResult(spec=spec, recorder=recorder, metrics=metrics,
+                         result=None)

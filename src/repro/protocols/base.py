@@ -89,6 +89,14 @@ class BroadcastSystem(abc.ABC):
         self.engine = engine
         self.n = n
         self.node_ids = list(range(n))
+        #: consensus-group index when built inside ``engine.scoped(g)``
+        #: (a :class:`~repro.shard.ShardedDeployment` shard), else None.
+        self.group: Optional[int] = engine.scope_group
+        # Captured scope label; spans of scoped deployments carry the
+        # group tag (``shard.<g>.<system>.msg``) so multi-group traces
+        # separate cleanly by shard in Perfetto.  Composed lazily in
+        # span_label because subclasses may assign self.name after this.
+        self._scope_label: Optional[str] = engine.scope
         self.deliveries = DeliveryRecorder(enabled=record_deliveries)
         #: callbacks ``(node_id, payload)`` invoked on every app-level
         #: delivery — the hook state-machine replication builds on.
@@ -149,7 +157,15 @@ class BroadcastSystem(abc.ABC):
         if obs is not None:
             # begin() records the submit timestamp itself; the first
             # segment therefore starts at submit time by construction.
-            obs.begin(payload, self.engine.now, label=f"{self.name}.msg")
+            obs.begin(payload, self.engine.now, label=self.span_label)
+
+    @property
+    def span_label(self) -> str:
+        """Label given to this deployment's message spans; carries the
+        group tag (``shard.<g>.``) for scoped (sharded) deployments."""
+        if self._scope_label is not None:
+            return f"{self._scope_label}.{self.name}.msg"
+        return f"{self.name}.msg"
 
     # ------------------------------------------------------------ inspection
 

@@ -1,0 +1,25 @@
+"""Sharded multi-group deployments: many consensus groups, one engine.
+
+The single-group core scales *up* (window, message size, replica
+count); this package scales *out*: a
+:class:`~repro.shard.deployment.ShardedDeployment` hosts N independent
+groups behind a key-hashed :class:`~repro.shard.router.ShardRouter`,
+and :func:`~repro.shard.arrivals.aggregate_client` models 10⁵–10⁶
+logical users as one Poisson/Zipfian open-loop arrival process.  See
+DESIGN.md "Sharded deployment" for the identity scheme and the
+determinism argument; ``repro shard`` and
+:mod:`repro.harness.shardsweep` drive the shard-count × skew sweeps.
+"""
+
+from repro.shard.arrivals import ARRIVAL_STREAM, aggregate_client
+from repro.shard.deployment import ShardedDeployment, default_key_of
+from repro.shard.router import ShardRouter, stable_key_hash
+
+__all__ = [
+    "ARRIVAL_STREAM",
+    "ShardRouter",
+    "ShardedDeployment",
+    "aggregate_client",
+    "default_key_of",
+    "stable_key_hash",
+]

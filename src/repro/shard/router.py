@@ -1,0 +1,79 @@
+"""Key-partitioned routing in front of N consensus groups.
+
+The router is the client-facing half of a sharded deployment: every
+request names a key, the key hashes to one of ``shards`` groups, and
+the group's own ``submit`` path takes it from there — the partitioned
+key-space shape that *RDMA vs. RPC for Implementing Distributed Data
+Structures* uses to scale one-group data structures out.
+
+Hashing is **stable**: independent of ``PYTHONHASHSEED``, of the host,
+and of the process the router runs in, so a sweep fanned across a
+process pool (``REPRO_WORKERS``) routes every key exactly like the
+sequential run, and a key's home shard can be recorded in goldens.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+_M64 = (1 << 64) - 1
+
+#: FNV-1a 64-bit offset basis / prime.
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def _splitmix64(x: int) -> int:
+    """Finalising mix of splitmix64 — a full-avalanche integer hash."""
+    x = (x + 0x9E3779B97F4A7C15) & _M64
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & _M64
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & _M64
+    return x ^ (x >> 31)
+
+
+def _fnv1a(data: bytes) -> int:
+    h = _FNV_OFFSET
+    for b in data:
+        h = ((h ^ b) * _FNV_PRIME) & _M64
+    return h
+
+
+def stable_key_hash(key: Any) -> int:
+    """A deterministic 64-bit hash of ``key``.
+
+    Unlike built-in ``hash()``, the result does not depend on
+    ``PYTHONHASHSEED`` (randomised per interpreter for str/bytes), so
+    key→shard placement is reproducible across runs, hosts and pool
+    workers.  Ints mix through splitmix64; strings and bytes through
+    FNV-1a; anything else hashes its ``repr`` (deterministic for the
+    tuples/dataclasses used as payload keys in this repo).
+    """
+    if isinstance(key, bool):        # bool is an int subclass; keep distinct
+        key = repr(key)
+    if isinstance(key, int):
+        return _splitmix64(key & _M64)
+    if isinstance(key, str):
+        return _fnv1a(key.encode("utf-8"))
+    if isinstance(key, bytes):
+        return _fnv1a(key)
+    return _fnv1a(repr(key).encode("utf-8"))
+
+
+class ShardRouter:
+    """Maps request keys onto ``shards`` consensus groups."""
+
+    def __init__(self, shards: int):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self.shards = shards
+
+    def shard_of(self, key: Any) -> int:
+        """The home group of ``key`` — stable across processes/runs."""
+        return stable_key_hash(key) % self.shards
+
+    def histogram(self, keys: Iterable[Any]) -> list[int]:
+        """Per-shard key counts for ``keys`` (skew/balance inspection)."""
+        counts = [0] * self.shards
+        for key in keys:
+            counts[self.shard_of(key)] += 1
+        return counts

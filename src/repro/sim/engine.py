@@ -12,8 +12,9 @@ determinism tests in ``tests/sim/test_determinism.py`` rely on this.
 from __future__ import annotations
 
 import random
+from contextlib import contextmanager
 from heapq import heapify, heappop, heappush
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Iterator, Optional
 
 NS_PER_US = 1_000
 NS_PER_MS = 1_000_000
@@ -106,6 +107,14 @@ class Engine:
         self._cancelled_in_heap: int = 0
         self._rngs: dict[str, random.Random] = {}
         self._stopped = False
+        #: ambient identity scope (see :meth:`scoped`): while set, every
+        #: stream handed out by :meth:`rng` is prefixed with this label
+        #: and processes constructed record :attr:`scope_group` as their
+        #: group.  None (the default) reproduces the historical flat
+        #: identity space bit-for-bit — single-group runs never pay for
+        #: (or observe) the hierarchy.
+        self.scope: Optional[str] = None
+        self.scope_group: Optional[int] = None
         from repro.sim.trace import Tracer
 
         self.trace = Tracer()
@@ -117,6 +126,29 @@ class Engine:
         #: zero-cost-when-off guarantee the golden fingerprints pin.
         self.obs: Optional[Any] = None
 
+    # ---------------------------------------------------------------- scope
+
+    @contextmanager
+    def scoped(self, group: int, label: Optional[str] = None) -> Iterator[None]:
+        """Enter the hierarchical identity scope of consensus group
+        ``group`` (a :class:`~repro.shard.ShardedDeployment` shard).
+
+        While active, :meth:`rng` prefixes every stream name with the
+        scope label (default ``shard.<group>``) and newly constructed
+        :class:`~repro.sim.process.Process` instances take the label
+        into their names and record ``group`` — so N groups built in
+        one engine get N disjoint RNG stream families and unambiguous
+        trace/span track names.  Scopes are construction-time ambient
+        state only: nothing on the event hot path reads them.
+        """
+        prev = (self.scope, self.scope_group)
+        self.scope = label if label is not None else f"shard.{group}"
+        self.scope_group = group
+        try:
+            yield
+        finally:
+            self.scope, self.scope_group = prev
+
     # ------------------------------------------------------------------ RNG
 
     def rng(self, stream: str) -> random.Random:
@@ -124,7 +156,12 @@ class Engine:
 
         Streams are independent of the order in which they are first
         requested: each is seeded from ``(master seed, stream name)``.
+        Inside a :meth:`scoped` block the stream name is prefixed with
+        the scope label, so identically named streams of different
+        consensus groups stay decorrelated.
         """
+        if self.scope is not None:
+            stream = f"{self.scope}.{stream}"
         r = self._rngs.get(stream)
         if r is None:
             # String seeds hash with sha512 inside random.Random, so streams

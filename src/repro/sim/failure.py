@@ -14,32 +14,69 @@ Supports the failure classes the paper's evaluation exercises:
 
 from __future__ import annotations
 
-from typing import Callable, Sequence
+from typing import Callable, Sequence, Union
 
 from repro.sim.engine import Engine
 from repro.sim.process import Process
+
+#: Ways to name a process: the Process itself, a plain node id (int,
+#: unambiguous only while one group owns the id), or a hierarchical
+#: ``(group, node_id)`` address for sharded deployments.
+Addr = Union[Process, int, "tuple[int, int]"]
 
 
 class FailureInjector:
     """Schedules failures against a set of processes.
 
-    Every method accepts either a node id (int) or the
-    :class:`~repro.sim.process.Process` itself; id lookup is a dict hit,
-    so injecting into wide clusters costs the same as into ``n = 3``.
+    Every method accepts the :class:`~repro.sim.process.Process` itself,
+    a plain node id (int), or — once several consensus groups share one
+    engine — a hierarchical ``(group, node_id)`` address.  Lookup is a
+    dict hit either way, so injecting into wide clusters costs the same
+    as into ``n = 3``.
+
+    Plain-int addressing keeps its historical meaning for single-group
+    runs.  When two groups both own a node id (a sharded deployment),
+    the bare int is *ambiguous* and raises with a pointer to the
+    ``(group, node)`` form rather than silently picking a group.
     """
 
     def __init__(self, engine: Engine, processes: Sequence[Process]):
         self.engine = engine
         self.processes = list(processes)
-        self._by_id: dict[int, Process] = {p.node_id: p for p in self.processes}
+        self._by_addr: dict[object, Process] = {}
+        self._ambiguous: set[int] = set()
+        for p in self.processes:
+            group = getattr(p, "group", None)
+            if group is not None:
+                self._by_addr[(group, p.node_id)] = p
+            nid = p.node_id
+            if nid in self._ambiguous:
+                continue
+            prior = self._by_addr.get(nid)
+            if prior is not None and prior is not p:
+                # Two groups collide on this flat id: retire the bare
+                # form instead of keying by whichever came last.
+                del self._by_addr[nid]
+                self._ambiguous.add(nid)
+            else:
+                self._by_addr[nid] = p
 
-    def _proc(self, node: Process | int) -> Process:
+    def _proc(self, node: Addr) -> Process:
         if isinstance(node, Process):
             return node
         try:
-            return self._by_id[node]
-        except KeyError:
-            raise KeyError(f"no process with node_id {node}") from None
+            return self._by_addr[node]
+        except (KeyError, TypeError):
+            pass
+        if isinstance(node, int) and node in self._ambiguous:
+            groups = sorted(g for g, n in
+                            ((getattr(p, "group", None), p.node_id)
+                             for p in self.processes)
+                            if n == node and g is not None)
+            raise KeyError(
+                f"node_id {node} is ambiguous across groups {groups}; "
+                f"address it as (group, node_id)")
+        raise KeyError(f"no process with address {node!r}")
 
     def crash_at(self, time_ns: int, node: Process | int) -> None:
         """Crash-stop ``node`` at absolute ``time_ns``."""
@@ -91,6 +128,7 @@ class FailureInjector:
         self.engine.schedule_at(start_ns if start_ns is not None else self.engine.now + period_ns,
                                 tick)
 
-    def alive(self) -> list[int]:
-        """Node ids of processes that have not crashed."""
-        return [p.node_id for p in self.processes if not p.crashed]
+    def alive(self) -> "list[int | tuple[int, int]]":
+        """Addresses of processes that have not crashed: plain node ids
+        in single-group runs, ``(group, node_id)`` in sharded ones."""
+        return [p.addr for p in self.processes if not p.crashed]

@@ -127,12 +127,22 @@ class Process:
         self.engine = engine
         self.node_id = node_id
         self.config = config or ProcessConfig()
-        self.name = name or f"node{node_id}"
+        base_name = name or f"node{node_id}"
+        #: consensus-group index when constructed inside an
+        #: ``engine.scoped(g)`` block (sharded deployments), else None.
+        #: ``(group, node_id)`` — :attr:`addr` — is the unambiguous
+        #: identity once several groups share one engine.
+        self.group = engine.scope_group
+        # Scoped processes get the scope label in their display name so
+        # trace and span tracks separate by group; the RNG stream uses
+        # the *base* name because engine.rng() applies the same scope
+        # prefix itself (one prefix, not two).
+        self.name = f"{engine.scope}.{base_name}" if engine.scope else base_name
         self.cpu = Cpu(engine, self.name, self.config.speed_factor)
         self.crashed = False
         self._started = False
         self._poll_event: Optional[Event] = None
-        self._rng = engine.rng(f"proc.{self.name}")
+        self._rng = engine.rng(f"proc.{base_name}")
         self._next_deschedule: Optional[Event] = None
         # --- poll-elision (parking) state --------------------------------
         allow = self.config.allow_park
@@ -345,6 +355,15 @@ class Process:
         if obs is not None:
             obs.process_event("deschedule", self.name, self.engine.now,
                               self.engine.now + int(duration_ns))
+
+    # ---------------------------------------------------------------- identity
+
+    @property
+    def addr(self) -> "int | tuple[int, int]":
+        """The process's unambiguous address: the plain ``node_id`` for
+        single-group runs, ``(group, node_id)`` when it belongs to a
+        scoped consensus group (see :meth:`Engine.scoped`)."""
+        return self.node_id if self.group is None else (self.group, self.node_id)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "crashed" if self.crashed else "up"

@@ -49,3 +49,24 @@ def test_seed_changes_timing_not_structure(capsys):
     main(["--seed", "6", "shootout", "--systems", "acuerdo", "--messages", "60"])
     b = capsys.readouterr().out
     assert a.splitlines()[0] == b.splitlines()[0]
+
+
+def test_shard_command_prints_sweep_table(capsys):
+    rc = main(["--workers", "1", "shard", "--shards", "1", "2",
+               "--skews", "0.99", "--users", "5000", "--rate", "100000",
+               "--duration-ms", "3"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "Shard farm" in out and "hottest_share" in out
+    # one row per (shards, skew) grid point
+    assert out.count("0.99") >= 2
+
+
+def test_trace_command_accepts_shard_flags(tmp_path, capsys):
+    out_file = tmp_path / "farm.json"
+    rc = main(["trace", "--shards", "2", "--users", "2000", "--skew", "0.9",
+               "--rate", "100000", "--duration-ms", "2",
+               "--out", str(out_file)])
+    assert rc == 0
+    text = out_file.read_text()
+    assert "shard.0.acuerdo.msg" in text and "shard.1.acuerdo.msg" in text

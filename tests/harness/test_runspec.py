@@ -90,3 +90,27 @@ def test_legacy_shims_agree_with_canonical_entry_points():
     canon = point(RunSpec(system="acuerdo", n=3, payload_bytes=10, window=4,
                           seed=2, duration_ms=50.0), min_completions=40)
     assert shim == canon
+
+
+def test_shard_fields_default_to_single_group():
+    spec = RunSpec()
+    assert (spec.shards, spec.users, spec.skew, spec.arrival_rate) == \
+        (1, 0, 0.0, 0.0)
+
+
+def test_shard_fields_validate():
+    import pytest
+
+    with pytest.raises(ValueError):
+        RunSpec(shards=0)
+    with pytest.raises(ValueError):
+        RunSpec(users=-1)
+    with pytest.raises(ValueError):
+        RunSpec(skew=1.0)
+    with pytest.raises(ValueError):
+        RunSpec(arrival_rate=-5.0)
+
+
+def test_shard_fields_round_trip():
+    spec = RunSpec(shards=8, users=100_000, skew=0.99, arrival_rate=5e5)
+    assert RunSpec.from_dict(spec.to_dict()) == spec

@@ -1,0 +1,139 @@
+"""ShardedDeployment: scoped identities, routing, metrics, failures.
+
+The farm's contract: groups share one engine but nothing else — each
+group's RNG streams, process names and span labels live under its
+``shard.<g>.*`` prefix; routing is per-key stable; per-shard metrics
+come out namespaced; and failure injection addresses replicas by
+``(group, node)`` while bare ints stay unambiguous-or-loud.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.shard import ShardedDeployment, aggregate_client
+from repro.sim.engine import Engine, ms
+
+
+def _farm(shards: int = 4, seed: int = 11) -> tuple[Engine, ShardedDeployment]:
+    engine = Engine(seed=seed)
+    dep = ShardedDeployment(engine, system="acuerdo", shards=shards, n=3)
+    dep.settle()
+    return engine, dep
+
+
+def _drive(engine: Engine, dep: ShardedDeployment, horizon_ns: int = ms(5)):
+    client = aggregate_client(dep, users=10_000, rate_rps=200_000.0,
+                              skew=0.99)
+    client.start()
+    engine.run(until=engine.now + horizon_ns)
+    client.stop()
+    return client
+
+
+def test_groups_get_scoped_identities():
+    _, dep = _farm(shards=3)
+    for g, group in enumerate(dep.groups):
+        assert group.group == g
+        for p in group.processes():
+            assert p.group == g
+            assert p.name.startswith(f"shard.{g}.")
+            assert p.addr == (g, p.node_id)
+
+
+def test_single_shard_keeps_flat_identities():
+    _, dep = _farm(shards=1)
+    [group] = dep.groups
+    assert group.group is None
+    for p in group.processes():
+        assert p.group is None
+        assert p.addr == p.node_id
+        assert not p.name.startswith("shard.")
+
+
+def test_requests_spread_and_commit_across_shards():
+    engine, dep = _farm(shards=4)
+    client = _drive(engine, dep)
+    assert client.committed > 0
+    assert sum(dep.submitted) == client.sent
+    assert sum(dep.committed) == client.committed
+    # Zipfian over 10k users still reaches every one of 4 shards.
+    assert all(s > 0 for s in dep.submitted)
+
+
+def test_routing_is_per_key_stable():
+    _, dep = _farm(shards=8)
+    for key in ("user-1", 42, "hot"):
+        assert dep.shard_of(key) == dep.shard_of(key)
+
+
+def test_metrics_are_namespaced_per_shard():
+    engine, dep = _farm(shards=2)
+    _drive(engine, dep)
+    snap = dep.metrics().snapshot()
+    for g in range(2):
+        assert snap[f"shard.{g}.submitted"] == dep.submitted[g]
+        assert snap[f"shard.{g}.committed"] == dep.committed[g]
+        # Each group's own substrate counters, re-namespaced.
+        assert any(k.startswith(f"shard.{g}.substrate.") for k in snap)
+    assert snap["shard.count"] == 2
+    assert snap["shard.total.committed"] == dep.total_committed()
+
+
+def test_injector_accepts_group_node_addresses():
+    engine, dep = _farm(shards=3)
+    inj = dep.injector()
+    inj.crash_at(engine.now + ms(1), (1, 2))
+    engine.run(until=engine.now + ms(2))
+    crashed = [p for p in dep.groups[1].processes() if p.crashed]
+    assert [p.node_id for p in crashed] == [2]
+    # Other groups untouched.
+    assert not any(p.crashed for p in dep.groups[0].processes())
+    assert (1, 2) not in inj.alive()
+    assert (0, 2) in inj.alive()
+
+
+def test_bare_int_address_is_loud_when_ambiguous():
+    _, dep = _farm(shards=2)
+    inj = dep.injector()
+    with pytest.raises(KeyError, match=r"ambiguous.*\(group, node_id\)"):
+        inj.crash_at(0, 0)
+
+
+def test_killing_one_group_leader_leaves_others_serving():
+    engine, dep = _farm(shards=3)
+    inj = dep.injector()
+    leader = dep.leader_of(0)
+    assert leader is not None
+    inj.crash_at(engine.now + ms(1), (0, leader))
+    engine.run(until=engine.now + ms(2))
+    # The other groups keep their leaders and keep committing.
+    for g in (1, 2):
+        assert dep.leader_of(g) is not None
+    before = dep.committed[1]
+    assert dep.submit_keyed("probe", ("p", 0, "probe"), 64) in (True, False)
+    engine.run(until=engine.now + ms(2))
+    assert sum(dep.committed) >= before
+
+
+def test_group_config_callable_is_applied_per_group():
+    from repro.core.config import AcuerdoConfig
+    from repro.sim.engine import us
+
+    engine = Engine(seed=5)
+    seen: list[int] = []
+
+    def cfg(g: int) -> dict:
+        seen.append(g)
+        return {"config": AcuerdoConfig(commit_push_period_ns=us(10 + g))}
+
+    dep = ShardedDeployment(engine, system="acuerdo", shards=3, n=3,
+                            group_config=cfg)
+    assert seen == [0, 1, 2]
+    assert [grp.cfg.commit_push_period_ns for grp in dep.groups] == \
+        [us(10), us(11), us(12)]
+
+
+def test_deployment_rejects_bad_shard_count():
+    with pytest.raises(ValueError):
+        ShardedDeployment(Engine(seed=1), shards=0)

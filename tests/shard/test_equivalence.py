@@ -1,0 +1,72 @@
+"""Property: a 1-shard farm is the single-group run, bit for bit.
+
+``ShardedDeployment(shards=1)`` enters no identity scope and adds only
+host-side routing bookkeeping, so driving it with the aggregate client
+must produce the *same trace fingerprint* (sorted counters + sample
+digests + event count) as building the group directly and driving it
+with an identically-configured :class:`OpenLoopClient`.  This is the
+refactor's no-regression proof: scaling out changed nothing about one
+group.
+
+Covered for the three consensus styles the farm hosts: Acuerdo, Raft
+(etcd) and Zab (zookeeper).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.factory import build_system, settle
+from repro.shard import ARRIVAL_STREAM, ShardedDeployment, aggregate_client
+from repro.sim.engine import Engine, ms
+from repro.workloads.openloop import OpenLoopClient
+
+SEED = 7
+USERS = 1_000
+RATE_RPS = 50_000.0        # one request per 20 us
+DURATION_NS = ms(10)
+SYSTEMS = ["acuerdo", "etcd", "zookeeper"]
+
+
+def _plain(system: str):
+    engine = Engine(seed=SEED)
+    sys_ = build_system(system, engine, 3)
+    settle(sys_)
+    client = OpenLoopClient(sys_, period_ns=20_000, message_size=64,
+                            arrival="poisson", key_dist="zipfian",
+                            key_space=USERS, skew=0.99,
+                            rng_stream=ARRIVAL_STREAM)
+    client.start()
+    engine.run(until=DURATION_NS)
+    return engine.trace.fingerprint(), client.committed
+
+
+def _sharded(system: str):
+    engine = Engine(seed=SEED)
+    dep = ShardedDeployment(engine, system=system, shards=1, n=3)
+    dep.settle()
+    client = aggregate_client(dep, users=USERS, rate_rps=RATE_RPS, skew=0.99)
+    client.start()
+    engine.run(until=DURATION_NS)
+    return engine.trace.fingerprint(), client.committed
+
+
+@pytest.mark.parametrize("system", SYSTEMS)
+def test_one_shard_farm_is_fingerprint_identical(system):
+    plain_fp, plain_committed = _plain(system)
+    farm_fp, farm_committed = _sharded(system)
+    assert farm_fp == plain_fp
+    assert farm_committed == plain_committed
+
+
+def test_one_shard_routing_is_pure_bookkeeping():
+    """The farm's own counters agree with the client's view."""
+    engine = Engine(seed=SEED)
+    dep = ShardedDeployment(engine, system="acuerdo", shards=1, n=3)
+    dep.settle()
+    client = aggregate_client(dep, users=USERS, rate_rps=RATE_RPS, skew=0.99)
+    client.start()
+    engine.run(until=DURATION_NS)
+    assert dep.total_submitted() == client.sent
+    assert dep.total_committed() == client.committed
+    assert dep.submitted == [client.sent]

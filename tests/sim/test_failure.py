@@ -112,3 +112,61 @@ def test_kill_leader_handles_no_leader():
     inj.kill_leader_every(us(10), lambda: None, stop_after=1)
     e.run(until=us(50))
     assert inj.alive() == [0, 1]
+
+
+def _grouped_cluster(e, groups=2, n=2):
+    procs = []
+    for g in range(groups):
+        with e.scoped(g):
+            procs.extend(_cluster(e, n))
+    return procs
+
+
+def test_grouped_processes_accept_group_node_addresses():
+    e = Engine(seed=1)
+    procs = _grouped_cluster(e)
+    inj = FailureInjector(e, procs)
+    inj.crash_at(us(5), (1, 0))
+    e.run(until=us(10))
+    crashed = [p for p in procs if p.crashed]
+    assert [(p.group, p.node_id) for p in crashed] == [(1, 0)]
+
+
+def test_colliding_bare_int_raises_with_guidance():
+    e = Engine(seed=1)
+    inj = FailureInjector(e, _grouped_cluster(e))
+    with pytest.raises(KeyError, match=r"ambiguous across groups \[0, 1\]"):
+        inj.crash_at(us(5), 0)
+
+
+def test_mixed_flat_and_grouped_keeps_unique_ints_working():
+    e = Engine(seed=1)
+    flat = _cluster(e, n=1)          # node 0, no group
+    with e.scoped(0):
+        grouped = _cluster(e, n=2)   # (0, 0), (0, 1)
+    inj = FailureInjector(e, flat + grouped)
+    # node_id 1 exists only in group 0: the bare int still resolves.
+    inj.crash_at(us(5), 1)
+    # node_id 0 exists both flat and grouped: ambiguous.
+    with pytest.raises(KeyError, match="ambiguous"):
+        inj.crash_at(us(5), 0)
+    e.run(until=us(10))
+    assert [p.crashed for p in grouped] == [False, True]
+    assert not flat[0].crashed
+
+
+def test_alive_reports_hierarchical_addresses():
+    e = Engine(seed=1)
+    procs = _grouped_cluster(e)
+    inj = FailureInjector(e, procs)
+    inj.crash_at(us(5), (0, 1))
+    e.run(until=us(10))
+    assert (0, 1) not in inj.alive()
+    assert set(inj.alive()) == {(0, 0), (1, 0), (1, 1)}
+
+
+def test_unknown_group_address_raises():
+    e = Engine(seed=1)
+    inj = FailureInjector(e, _grouped_cluster(e))
+    with pytest.raises(KeyError, match="no process with address"):
+        inj.crash_at(us(5), (7, 0))

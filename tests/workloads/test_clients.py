@@ -92,3 +92,78 @@ def test_open_loop_measures_commit_gap_across_failover():
     # The fail-over window dominates the largest observed gap.
     assert gap > 3 * baseline_gap
     assert client.dropped >= 0
+
+
+def test_open_loop_default_touches_no_rng():
+    """The fixed/unkeyed default must not create an RNG stream — that is
+    what keeps historical runs bit-identical to pre-mode clients."""
+    e, c = _system()
+    client = OpenLoopClient(c, period_ns=us(10), message_size=10)
+    assert client._rng is None
+    client.start()
+    e.run(until=ms(1))
+    assert client.committed > 0
+
+
+def test_open_loop_poisson_is_seeded_and_deterministic():
+    def run():
+        e, c = _system(seed=9)
+        client = OpenLoopClient(c, period_ns=us(10), message_size=10,
+                                arrival="poisson")
+        client.start()
+        e.run(until=ms(2))
+        return client.sent, client.committed, tuple(client.commit_times)
+
+    assert run() == run()
+
+
+def test_open_loop_poisson_varies_interarrivals():
+    e, c = _system(seed=3)
+    client = OpenLoopClient(c, period_ns=us(10), message_size=10,
+                            arrival="poisson")
+    client.start()
+    e.run(until=ms(2))
+    gaps = {b - a for a, b in zip(client.commit_times, client.commit_times[1:])}
+    assert len(gaps) > 1   # fixed mode would commit on a strict cadence
+
+
+def test_open_loop_zipfian_keys_are_skewed_and_in_range():
+    e, c = _system(seed=5)
+    keys = []
+    client = OpenLoopClient(c, period_ns=us(5), message_size=10,
+                            key_dist="zipfian", key_space=100, skew=0.99,
+                            payload_fn=lambda i, k: keys.append(k) or ("m", i, k))
+    client.start()
+    e.run(until=ms(3))
+    assert keys and all(0 <= k < 100 for k in keys)
+    top = max(keys.count(k) for k in set(keys))
+    assert top > len(keys) / 20   # hottest key far above uniform 1/100
+
+
+def test_open_loop_uniform_keys_cover_the_space():
+    e, c = _system(seed=5)
+    client = OpenLoopClient(c, period_ns=us(5), message_size=10,
+                            key_dist="uniform", key_space=4)
+    client.start()
+    e.run(until=ms(2))
+    # keyed default payloads are ("ol", i, key)
+    assert client.sent > 20
+
+
+def test_open_loop_records_latencies():
+    e, c = _system()
+    client = OpenLoopClient(c, period_ns=us(10), message_size=10)
+    client.start()
+    e.run(until=ms(1))
+    assert len(client.latencies_ns) == client.committed
+    assert all(lat > 0 for lat in client.latencies_ns)
+
+
+def test_open_loop_rejects_unknown_modes():
+    import pytest
+
+    e, c = _system()
+    with pytest.raises(ValueError):
+        OpenLoopClient(c, period_ns=us(10), message_size=10, arrival="burst")
+    with pytest.raises(ValueError):
+        OpenLoopClient(c, period_ns=us(10), message_size=10, key_dist="pareto")
