@@ -139,16 +139,58 @@ class AcuerdoNode(Process):
         # failure detector skip the per-peer row scan when no commit-row
         # write has landed since (the scan is a no-op in that case).
         self._hb_seen_version = -1
+        # Vote-SST max_vote cache: max_vote is a pure function of this
+        # node's local copy, and the copy's version counter bumps on
+        # every change — so re-scanning at an unchanged version must
+        # return the identical Vote.  park_ready and the stranded-voter
+        # check hit this on every leader poll.
+        self._mx_cache_version = -1
+        self._mx_cache: Vote = VOTE_ZERO
+        # _commit_ready negative cache: while (role, Accept/Commit-SST
+        # version, Next, E_cur) are unchanged, a re-evaluation reads the
+        # same rows and must return the same False (True results advance
+        # Next immediately, so only False is worth remembering).  Next
+        # and E_cur are replaced-on-change immutable values, so identity
+        # comparison is exact and costs no dataclass __eq__.
+        self._cr_version = -1
+        self._cr_next: Any = None
+        self._cr_ecur: Any = None
+        self._cr_role: Any = None
+        # Eviction-scan guard (see _evict_dead_receivers): re-scan only
+        # when a heartbeat landed or the earliest recorded expiry passed.
+        self._evict_guard_version = -2
+        self._evict_next_due = -1
+        # Generation counter bumped on every eviction-state / send-map
+        # mutation outside _release_slots, so the slot-release scan can
+        # skip when none of its inputs (accept rows, sent seq maps,
+        # eviction set) moved since the last scan.
+        self._evict_gen = 0
+        self._rs_ver = -1
+        self._rs_ns = -1
+        self._rs_gen = -1
+        # Set by on_poll when the fused no-op guard fired this tick, so
+        # park_ready can return True without re-deriving the verdict.
+        self._was_noop = False
 
     def _charge(self, cost_ns: int) -> None:
         """Charge protocol CPU work for this poll iteration."""
         cpu = self.cpu
-        cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(
-            cost_ns * cpu.speed_factor)
+        sf = cpu.speed_factor
+        cpu.busy_until = max(cpu.busy_until, self.engine.now) + (
+            cost_ns if sf == 1.0 and type(cost_ns) is int else int(cost_ns * sf))
 
     # ------------------------------------------------------------ event loop
 
     def on_poll(self) -> None:
+        # Fused no-op guard: most polls after a wake discover there is
+        # nothing left to do and park again.  _poll_noop mirrors every
+        # sub-step's own guard (version counters, period clocks, queue
+        # emptiness), so skipping the dispatch entirely is behaviourally
+        # invisible — and park_ready reuses the verdict via _was_noop.
+        if self._poll_noop():
+            self._was_noop = True
+            return
+        self._was_noop = False
         self._drain_rings()
         if self.role is Role.ELECTING:
             self._election_step(timeout_fired=False)
@@ -157,7 +199,8 @@ class AcuerdoNode(Process):
                 self._serve_client_ports()
             self._commit_loop()
             if self.role is Role.LEADER:
-                self._pump_client_queue()
+                if self.pending_client or self._pending_diffs:
+                    self._pump_client_queue()
                 self._release_slots()
                 self._evict_dead_receivers()
                 self._check_stranded_voters()
@@ -173,6 +216,58 @@ class AcuerdoNode(Process):
         if now - self._last_gc >= cfg.gc_period_ns:
             self._maybe_gc()
 
+    def _poll_noop(self) -> bool:
+        """True iff every step of on_poll is guaranteed to do nothing.
+
+        Each clause restates one sub-step's own skip condition: the
+        commit-ready negative cache, the release/eviction scan guards,
+        the heartbeat-observation version, the period clocks, and queue
+        emptiness.  A True verdict therefore proves the full dispatch
+        would leave every piece of node state untouched."""
+        role = self.role
+        e_cur = self.E_cur
+        # Covers the ELECTING branch too: _commit_ready never caches a
+        # verdict under ELECTING, so the role identity check fails.
+        if (self.Next is not self._cr_next or e_cur is not self._cr_ecur
+                or role is not self._cr_role):
+            return False
+        now = self.engine.now
+        if role is Role.LEADER:
+            ver = self._accept_sst._versions[self.node_id]
+            if ver != self._cr_version:
+                return False
+            if self.pending_client or self._pending_diffs:
+                return False
+            if (ver != self._rs_ver or self._ring.next_seq != self._rs_ns
+                    or self._evict_gen != self._rs_gen):
+                return False
+            if (self._commit_sst._versions[self.node_id] != self._hb_seen_version
+                    or self._hb_seen_version != self._evict_guard_version
+                    or now >= self._evict_next_due):
+                return False
+            if self._max_vote_cached().e_new > e_cur:
+                return False
+        else:
+            ver = self._commit_sst._versions[self.node_id]
+            if ver != self._cr_version or ver != self._hb_seen_version:
+                return False
+            ldr = e_cur.leader
+            if (ldr != self.node_id
+                    and now - self._peer_hb.get(ldr, (-1, 0))[1]
+                    > self.cfg.leader_timeout_ns):
+                return False
+        cfg = self.cfg
+        if (now - self._last_commit_push >= cfg.commit_push_period_ns
+                or now - self._last_gc >= cfg.gc_period_ns):
+            return False
+        for rr in self._ring_mirrors:
+            if rr._ready:
+                return False
+        for port in self._client_ports:
+            if port.request_backlog(self.node_id):
+                return False
+        return True
+
     # --------------------------------------------------------- poll elision
 
     def park_ready(self) -> bool:
@@ -180,6 +275,10 @@ class AcuerdoNode(Process):
         commit is ready.  Every input that can change that rings the
         doorbell: ring deposits, SST writes and mailbox deposits all ride
         the QP delivery path, and client_broadcast calls request_poll."""
+        if self._was_noop:
+            # This tick's on_poll proved a strict superset of the checks
+            # below (nothing between the two calls mutates node state).
+            return True
         if self.role is Role.ELECTING:
             return False
         for rr in self._ring_mirrors:
@@ -195,9 +294,18 @@ class AcuerdoNode(Process):
                 return False
             # A persistent higher-epoch vote awaits the rate-limited
             # stranded-voter reaction: keep polling through it.
-            if max_vote(self._vote_sst.snapshot(self.node_id)).e_new > self.E_cur:
+            if self._max_vote_cached().e_new > self.E_cur:
                 return False
         return True
+
+    def _max_vote_cached(self) -> Vote:
+        """max_vote over this node's Vote-SST copy, re-scanned only when
+        the copy's version moved (max_vote is pure, so this is exact)."""
+        ver = self._vote_sst._versions[self.node_id]
+        if ver != self._mx_cache_version:
+            self._mx_cache_version = ver
+            self._mx_cache = max_vote(self._vote_sst.copies[self.node_id])
+        return self._mx_cache
 
     def park_deadline(self) -> Optional[int]:
         """Earliest instant a time-triggered branch of on_poll could act:
@@ -210,13 +318,23 @@ class AcuerdoNode(Process):
         if t < d:
             d = t
         if self.role is Role.LEADER:
-            horizon = 3 * cfg.leader_timeout_ns + 1
-            for p in self.peers:
-                if p == self.node_id or p in self._evicted:
-                    continue
-                t = self._peer_hb.get(p, (-1, 0))[1] + horizon
-                if t < d:
-                    d = t
+            # The eviction scan maintains exactly this minimum (earliest
+            # non-evicted expiry) in _evict_next_due; heartbeats observed
+            # since can only move the true minimum later, so the cached
+            # value is early-or-exact — safe per the contract above.  -1
+            # means invalidated (fresh leader): fall back to the scan.
+            nd = self._evict_next_due
+            if nd >= 0:
+                if nd < d:
+                    d = nd
+            else:
+                horizon = 3 * cfg.leader_timeout_ns + 1
+                for p in self.peers:
+                    if p == self.node_id or p in self._evicted:
+                        continue
+                    t = self._peer_hb.get(p, (-1, 0))[1] + horizon
+                    if t < d:
+                        d = t
         else:
             ldr = self.E_cur.leader
             if ldr != self.node_id:
@@ -368,25 +486,44 @@ class AcuerdoNode(Process):
         # Joining an epoch resets failure-detection state.
         self._peer_hb[e.leader] = (self._peer_hb.get(e.leader, (-1, 0))[0], self.engine.now)
         self._election_started_at = None
+        self._evict_next_due = -1  # peer_hb touched outside the version path
         self.engine.trace.count("acuerdo.diff_accept")
 
     # -------------------------------------------------------- Fig. 6: commit
 
     def _commit_ready(self) -> bool:
-        if self.role is Role.LEADER:
+        role = self.role
+        nxt = self.Next
+        e_cur = self.E_cur
+        if role is Role.LEADER:
+            ver = self._accept_sst._versions[self.node_id]
+            if (ver == self._cr_version and nxt is self._cr_next
+                    and e_cur is self._cr_ecur and role is self._cr_role):
+                return False
             # Direct read of this node's local SST copy (read() is two
             # dict hops + a call per peer; this loop runs per commit).
             accept_copy = self._accept_sst.copies[self.node_id]
-            nxt, e_cur = self.Next, self.E_cur
             n_ok = 0
             for k in self.peers:
                 h = accept_copy[k]
                 if h is not None and h >= nxt and h.e == e_cur:
                     n_ok += 1
-            return n_ok >= self.quorum
-        row: CommitRow = self._commit_sst.read(self.node_id, self.E_cur.leader)
-        return (row is not None and row.committed >= self.Next
-                and row.committed.e == self.E_cur)
+            if n_ok >= self.quorum:
+                return True
+        else:
+            ver = self._commit_sst._versions[self.node_id]
+            if (ver == self._cr_version and nxt is self._cr_next
+                    and e_cur is self._cr_ecur and role is self._cr_role):
+                return False
+            row: CommitRow = self._commit_sst.read(self.node_id, e_cur.leader)
+            if (row is not None and row.committed >= nxt
+                    and row.committed.e == e_cur):
+                return True
+        self._cr_version = ver
+        self._cr_next = nxt
+        self._cr_ecur = e_cur
+        self._cr_role = role
+        return False
 
     def _commit_loop(self) -> None:
         # Drain as many commits as are ready this turn (receiver-side
@@ -471,8 +608,22 @@ class AcuerdoNode(Process):
 
     def _release_slots(self) -> None:
         """Accept-based slot reuse (§4.1): a slot is free once the
-        receiver has accepted the message, long before commit."""
+        receiver has accepted the message, long before commit.
+
+        The scan is a pure function of the accept rows (version-counted),
+        the sent-seq maps (every mutation bumps the ring's ``next_seq``
+        or ``_evict_gen``) and the eviction set (``_evict_gen``): with
+        all three unchanged it would repeat the identical idempotent
+        ``mark_released`` calls, so it is skipped."""
         ring = self._ring
+        ver = self._accept_sst._versions[self.node_id]
+        nxt_seq = ring.next_seq
+        if (ver == self._rs_ver and nxt_seq == self._rs_ns
+                and self._evict_gen == self._rs_gen):
+            return
+        self._rs_ver = ver
+        self._rs_ns = nxt_seq
+        self._rs_gen = self._evict_gen
         accept_copy = self._accept_sst.copies[self.node_id]
         e_cur = self.E_cur
         for k in self.peers:
@@ -518,22 +669,41 @@ class AcuerdoNode(Process):
     def _evict_dead_receivers(self) -> None:
         self._observe_peer_heartbeats()
         now = self.engine.now
+        # The scan's outcome is a function of (peer_hb, evicted, now):
+        # peer_hb only moves with the commit-SST version, evictions only
+        # flip by time passing an expiry or a version change, and the
+        # scan below records the earliest future expiry — so skipping
+        # until either the version moves or that expiry arrives repeats
+        # the identical no-op scans for free.  _become_leader and
+        # _accept_diff invalidate the guard when they touch this state.
+        if self._hb_seen_version == self._evict_guard_version and now < self._evict_next_due:
+            return
+        self._evict_guard_version = self._hb_seen_version
+        horizon = 3 * self.cfg.leader_timeout_ns
+        next_due = 1 << 62  # effectively never
         for p in self.peers:
             if p == self.node_id:
                 continue
             _, seen_at = self._peer_hb.get(p, (-1, 0))
-            if now - seen_at > 3 * self.cfg.leader_timeout_ns:
+            if now - seen_at > horizon:
                 if p not in self._evicted:
                     # Keep mirroring (the node may be alive-but-slow and
                     # will catch up) but stop letting it wedge slot reuse.
                     self._evicted.add(p)
+                    self._evict_gen += 1
                     self._ring.exclude_from_accounting(p)
                     self.engine.trace.count("acuerdo.receiver_evicted")
-            elif p in self._evicted:
-                # Fresh heartbeat from an evicted peer: re-admit it; the
-                # release state resumes from its next acceptance.
-                self._evicted.discard(p)
-                self._ring.include_in_accounting(p, self._ring.next_seq)
+            else:
+                if p in self._evicted:
+                    # Fresh heartbeat from an evicted peer: re-admit it;
+                    # the release state resumes from its next acceptance.
+                    self._evicted.discard(p)
+                    self._evict_gen += 1
+                    self._ring.include_in_accounting(p, self._ring.next_seq)
+                due = seen_at + horizon + 1
+                if due < next_due:
+                    next_due = due
+        self._evict_next_due = next_due
 
     def _check_stranded_voters(self) -> None:
         """Recover peers stranded mid-election (partition healed, vote
@@ -549,7 +719,7 @@ class AcuerdoNode(Process):
         now = self.engine.now
         if now - self._last_stranded_react < 4 * self.cfg.leader_timeout_ns:
             return
-        mx = max_vote(self._vote_sst.snapshot(self.node_id))
+        mx = self._max_vote_cached()
         if mx.e_new > self.E_cur:
             self._last_stranded_react = now
             self.engine.trace.count("acuerdo.stranded_voter_recovery")
@@ -595,6 +765,7 @@ class AcuerdoNode(Process):
         self.Count = 0
         self._epoch_msg_seq = {}
         self._diff_seq = {}
+        self._evict_gen += 1  # seq maps reset without a next_seq bump
         # A new epoch starts with a clean slate: every peer gets a diff
         # (even previously evicted ones — the diff is their way back in)
         # and rejoins slot accounting from the diff onward.
@@ -602,6 +773,7 @@ class AcuerdoNode(Process):
         for j in list(self._evicted):
             self._evicted.discard(j)
             self._ring.include_in_accounting(j, base)
+        self._evict_next_due = -1  # eviction state changed outside the scan
         comm_cpy = self._commit_sst.snapshot(self.node_id)
         hdr = MsgHdr(self.E_new, 0)
         for j in self.peers:

@@ -34,6 +34,8 @@ meaningful everywhere.
 from __future__ import annotations
 
 import argparse
+import contextlib
+import gc
 import json
 import os
 import pathlib
@@ -108,8 +110,34 @@ SHARD_POINT = RunSpec(system="acuerdo", n=3, seed=9, payload_bytes=64,
 #: Executed-event ceiling for :data:`SHARD_POINT` (measured 301_200 with
 #: parking on and the farm heartbeat, plus ~25% headroom).  Guards the
 #: per-group event cost of the farm: a regression here multiplies by the
-#: shard count.
+#: shard count.  Macro-event fusion does not move this number — chains
+#: change how events are *stored*, every step still executes and counts.
 SHARD_EVENT_CEILING = 375_000
+
+#: Heap-push reduction macro-event fusion must buy on the shard farm
+#: (``--check`` gate; machine-independent, like the event ceilings).
+#: Most farm pushes are unfusable poll/park singletons, so the whole-farm
+#: ratio is modest even though fused fan-outs shrink ~8x; measured
+#: 384_485 / 364_708 = 1.054x.
+CHAIN_MIN_PUSH_REDUCTION = 1.03
+
+
+@contextlib.contextmanager
+def _gc_paused():
+    """Collector off for a timed section.
+
+    The simulations allocate heavily but are acyclic at the rates that
+    matter; generational GC pauses are host noise in the wall numbers
+    (~9% on the shard farm), so the timed sections measure with the
+    collector off and restore it afterwards."""
+    was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        yield
+    finally:
+        if was_enabled:
+            gc.enable()
+            gc.collect()
 
 
 def run_reference_point(backend: str, collect: Optional[dict] = None):
@@ -122,17 +150,21 @@ def run_reference_point(backend: str, collect: Optional[dict] = None):
 def measure(repeats: int = 3) -> dict[str, dict[str, Any]]:
     """Best-of-``repeats`` wall-clock seconds per backend, plus the
     simulated result (identical across repeats — it is asserted) and the
-    executed-event count with its events/wall-second rate."""
+    executed-event count with its events/wall-second rate.
+
+    ``repeats`` is clamped to >= 3: a single sample confounds host
+    scheduling noise with real cost, and best-of needs a population."""
     out: dict[str, dict[str, Any]] = {}
     for backend in sorted(REFERENCE_POINTS):
         best = float("inf")
         point = None
         events = None
-        for _ in range(repeats):
+        for _ in range(max(3, repeats)):
             collect: dict[str, Any] = {}
-            t0 = time.perf_counter()
-            p = run_reference_point(backend, collect)
-            best = min(best, time.perf_counter() - t0)
+            with _gc_paused():
+                t0 = time.perf_counter()
+                p = run_reference_point(backend, collect)
+                best = min(best, time.perf_counter() - t0)
             if point is None:
                 point, events = p, collect["events_executed"]
             elif point != p or events != collect["events_executed"]:
@@ -154,18 +186,19 @@ def _run_doorbell_point() -> tuple[float, int, dict[str, Any]]:
     from repro.workloads.openloop import OpenLoopClient
 
     ref = DOORBELL_POINT
-    t0 = time.perf_counter()
-    engine = Engine(seed=ref["seed"])
-    cfg = AcuerdoConfig(commit_push_period_ns=ref["commit_push_period_ns"])
-    cluster = AcuerdoCluster(engine, ref["n"], config=cfg)
-    cluster.preseed_leader(0)
-    cluster.start()
-    client = OpenLoopClient(cluster, period_ns=ref["period_ns"],
-                            message_size=ref["payload_bytes"])
-    client.start()
-    engine.run(until=engine.now + ms(ref["duration_ms"]))
-    client.stop()
-    secs = time.perf_counter() - t0
+    with _gc_paused():
+        t0 = time.perf_counter()
+        engine = Engine(seed=ref["seed"])
+        cfg = AcuerdoConfig(commit_push_period_ns=ref["commit_push_period_ns"])
+        cluster = AcuerdoCluster(engine, ref["n"], config=cfg)
+        cluster.preseed_leader(0)
+        cluster.start()
+        client = OpenLoopClient(cluster, period_ns=ref["period_ns"],
+                                message_size=ref["payload_bytes"])
+        client.start()
+        engine.run(until=engine.now + ms(ref["duration_ms"]))
+        client.stop()
+        secs = time.perf_counter() - t0
     behaviour = {
         "committed": client.committed,
         "delivered": sorted(cluster.deliveries.counts.items()),
@@ -214,9 +247,9 @@ def doorbell_section() -> dict[str, Any]:
     return out
 
 
-def shard_section(repeats: int = 2) -> dict[str, Any]:
-    """Run :data:`SHARD_POINT` ``repeats`` times: wall time (best of),
-    executed events, events/wall-second, and the simulated result.
+def shard_section(repeats: int = 3) -> dict[str, Any]:
+    """Run :data:`SHARD_POINT` ``repeats`` (>= 3) times: wall time (best
+    of), executed events, events/wall-second, and the simulated result.
 
     The simulated result must be identical across repeats (the farm is
     a pure function of the spec) — a mismatch is raised, not reported.
@@ -225,10 +258,11 @@ def shard_section(repeats: int = 2) -> dict[str, Any]:
 
     best = float("inf")
     result = None
-    for _ in range(max(1, repeats)):
-        t0 = time.perf_counter()
-        p = shard_point(SHARD_POINT)
-        best = min(best, time.perf_counter() - t0)
+    for _ in range(max(3, repeats)):
+        with _gc_paused():
+            t0 = time.perf_counter()
+            p = shard_point(SHARD_POINT)
+            best = min(best, time.perf_counter() - t0)
         if result is None:
             result = p
         elif result != p:
@@ -238,6 +272,56 @@ def shard_section(repeats: int = 2) -> dict[str, Any]:
             "events": result.events_executed,
             "events_per_wall_s": round(result.events_executed / best) if best else 0,
             "point": asdict(result)}
+
+
+def chain_section(repeats: int = 3) -> dict[str, Any]:
+    """Run :data:`SHARD_POINT` with macro-event fusion on and off.
+
+    Fusion is defined to be behaviour-preserving, so the two simulated
+    results — with the host-cost ``heap_pushes`` field stripped — must
+    be identical, including ``events_executed`` (chains change how
+    events are stored, not whether they run).  Reported alongside:
+    ``push_reduction`` (heap pushes off/on — machine-independent, the
+    quantity :data:`CHAIN_MIN_PUSH_REDUCTION` gates) and
+    ``wall_speedup`` (host-dependent)."""
+    from repro.harness.shardsweep import shard_point
+
+    out: dict[str, Any] = {}
+    prior = os.environ.get("REPRO_CHAIN")
+    try:
+        for label, flag in (("fused", "1"), ("unfused", "0")):
+            os.environ["REPRO_CHAIN"] = flag
+            best = float("inf")
+            result = None
+            for _ in range(max(3, repeats)):
+                with _gc_paused():
+                    t0 = time.perf_counter()
+                    p = shard_point(SHARD_POINT)
+                    best = min(best, time.perf_counter() - t0)
+                if result is None:
+                    result = p
+                elif result != p:
+                    raise AssertionError(
+                        f"shard-farm point ({label}) not deterministic "
+                        "across repeats")
+            behaviour = asdict(result)
+            pushes = behaviour.pop("heap_pushes")
+            out[label] = {"seconds": round(best, 4),
+                          "heap_pushes": pushes,
+                          "point": behaviour}
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_CHAIN", None)
+        else:
+            os.environ["REPRO_CHAIN"] = prior
+    fused, unfused = out["fused"], out["unfused"]
+    out["identical_point"] = fused["point"] == unfused["point"]
+    out["push_reduction"] = round(
+        unfused["heap_pushes"] / fused["heap_pushes"], 3) \
+        if fused["heap_pushes"] else float("inf")
+    out["wall_speedup"] = round(unfused["seconds"] / fused["seconds"], 3) \
+        if fused["seconds"] else float("inf")
+    return out
 
 
 def sweep_equivalence(workers: int = 4) -> dict[str, Any]:
@@ -284,6 +368,7 @@ def write_bench(path: pathlib.Path, repeats: int = 3,
                 capture_baseline: bool = False, check: bool = False,
                 sweep_workers: int = 4) -> int:
     """Measure and (re)write the BENCH file; returns a process exit code."""
+    repeats = max(3, repeats)  # best-of needs a population (see measure)
     existing: Optional[dict] = None
     if path.exists():
         existing = json.loads(path.read_text())
@@ -334,13 +419,26 @@ def write_bench(path: pathlib.Path, repeats: int = 3,
             f"doorbell point: event reduction {db['event_reduction']}x is "
             f"below the {DOORBELL_MIN_EVENT_REDUCTION}x bar")
 
-    farm = shard_section()
+    farm = shard_section(repeats=repeats)
     doc["shard_farm"] = farm
     if check and farm["events"] > SHARD_EVENT_CEILING:
         failures.append(
             f"shard farm: reference point executed {farm['events']} events, "
             f"over the SHARD_EVENT_CEILING bench-smoke bound "
             f"{SHARD_EVENT_CEILING}")
+
+    chain = chain_section(repeats=repeats)
+    doc["chain_fusion"] = chain
+    if not chain["identical_point"]:
+        failures.append(
+            "chain fusion: fused and unfused shard-farm runs produced "
+            "different simulated results (macro-event fusion changed "
+            "behaviour)")
+    if check and chain["push_reduction"] < CHAIN_MIN_PUSH_REDUCTION:
+        failures.append(
+            f"chain fusion: heap-push reduction {chain['push_reduction']}x "
+            f"is below the CHAIN_MIN_PUSH_REDUCTION bar "
+            f"{CHAIN_MIN_PUSH_REDUCTION}x")
 
     if not capture_baseline:
         eq = sweep_equivalence(workers=sweep_workers)

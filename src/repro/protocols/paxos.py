@@ -76,10 +76,10 @@ class PaxosNode(Process):
         self.cluster.net.send(self.node_id, dst, msg, size + self.cfg.msg_overhead_bytes)
 
     def _bcast(self, msg: tuple, size: int, include_self: bool = False) -> None:
-        for p in self.cluster.node_ids:
-            if p == self.node_id:
-                continue
-            self._send(p, msg, size)
+        # Fused fan-out: one macro-event carries all deliveries of this
+        # broadcast (identical per-unicast costs and timestamps).
+        self.cluster.net.broadcast(self.node_id, self.cluster.node_ids, msg,
+                                   size + self.cfg.msg_overhead_bytes)
         if include_self:
             self._dispatch(self.node_id, msg)
 

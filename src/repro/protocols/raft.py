@@ -83,9 +83,10 @@ class RaftNode(Process):
         self.cluster.net.send(self.node_id, dst, msg, size + self.cfg.msg_overhead_bytes)
 
     def _bcast(self, msg: tuple, size: int) -> None:
-        for p in self.cluster.node_ids:
-            if p != self.node_id:
-                self._send(p, msg, size)
+        # Fused fan-out: one macro-event carries all deliveries of this
+        # broadcast (identical per-unicast costs and timestamps).
+        self.cluster.net.broadcast(self.node_id, self.cluster.node_ids, msg,
+                                   size + self.cfg.msg_overhead_bytes)
 
     def _reset_election_timer(self) -> None:
         span = self.cfg.election_timeout_max_ns - self.cfg.election_timeout_min_ns

@@ -99,9 +99,15 @@ class ZabNode(Process):
         self.cluster.net.send(self.node_id, dst, msg, size + self.cfg.msg_overhead_bytes)
 
     def _bcast(self, msg: tuple, size: int) -> None:
-        for p in self.cluster.node_ids:
-            if p != self.node_id and not self.cluster.nodes[p].crashed:
-                self._send(p, msg, size)
+        # Fused fan-out: the network coalesces the deliveries of one
+        # broadcast into a single macro-event (costs and timestamps are
+        # the per-unicast ones either way).  Zab skips known-crashed
+        # peers, so the filtered list is built here.
+        nodes = self.cluster.nodes
+        dsts = [p for p in self.cluster.node_ids
+                if p != self.node_id and not nodes[p].crashed]
+        self.cluster.net.broadcast(self.node_id, dsts, msg,
+                                   size + self.cfg.msg_overhead_bytes)
 
     def last_zxid(self) -> tuple:
         return self.log[-1][0] if self.log else (0, 0)

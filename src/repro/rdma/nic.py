@@ -77,8 +77,12 @@ class Nic:
         #: a parked poll loop wakes (see Process.doorbell).
         self.waker: Any = None
         # Cost models are frozen after substrate build; snapshot the
-        # per-verb charge so occupy_tx skips the params indirection.
+        # per-verb charge and the wire-maths bound methods so occupy_tx —
+        # called once per write, including every step of a fused
+        # fan-out chain — skips the params indirection entirely.
         self._nic_tx_ns = params.nic_tx_ns
+        self._tx_serialization_ns = params.tx_serialization_ns
+        self._wire_bytes = params.wire_bytes
 
     def occupy_tx(self, payload_bytes: int, earliest_ns: int = 0,
                   lane: str = "control") -> int:
@@ -89,16 +93,15 @@ class Nic:
         (it cannot post before its handler work is done).  ``lane``
         selects the QoS class: ``"bulk"`` transfers queue separately so
         control traffic never waits behind them."""
-        p = self.params
         start = max(self.engine.now, earliest_ns) + self._nic_tx_ns
         bulk = lane == "bulk"
         start = max(start, self.tx_bulk_free_at if bulk else self.tx_free_at)
-        done = start + p.tx_serialization_ns(payload_bytes)
+        done = start + self._tx_serialization_ns(payload_bytes)
         if bulk:
             self.tx_bulk_free_at = done
         else:
             self.tx_free_at = done
-        wire = p.wire_bytes(payload_bytes)
+        wire = self._wire_bytes(payload_bytes)
         self.tx_bytes += wire
         self.tx_msgs += 1
         obs = self.engine.obs

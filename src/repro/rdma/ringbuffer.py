@@ -139,6 +139,11 @@ class RingBuffer:
         self._regions: dict[int, tuple[Any, int]] = {}
         self._released: dict[int, int] = {}
         self._since_signal: dict[int, int] = {}
+        # Hot-path cache: (region, rkey, qp) per remote receiver so
+        # try_send posts straight to the QP when no partition is active
+        # (fabric.write adds nothing else on the control lane).
+        self._wires: dict[int, tuple[Any, int, Any]] = {}
+        self._sink = fabric.engine.chain_builder()  # reusable fan-out fuser
         for r in receivers:
             self._attach(r)
 
@@ -151,7 +156,11 @@ class RingBuffer:
             region = self.fabric.register(
                 receiver, f"{self.name}.in{receiver}", size_bytes=self.capacity * 1024,
                 on_write=lambda key, value, size, rr=rr: self._apply(rr, key, value, size))
-            self._regions[receiver] = (region, region.grant())
+            rkey = region.grant()
+            self._regions[receiver] = (region, rkey)
+            qp = self.fabric.qps.get((self.sender, receiver))
+            if qp is not None:
+                self._wires[receiver] = (region, rkey, qp)
 
     @staticmethod
     def _apply(rr: RingReceiver, key: Any, value: Any, size: int) -> None:
@@ -192,27 +201,51 @@ class RingBuffer:
         dests = targets if targets is not None else self._receivers
         sender = self.sender
         two_writes = self.writes_per_message == 2
-        write = self.fabric.write
+        fabric = self.fabric
+        write = fabric.write
         since = self._since_signal
-        for r in dests:
-            if r == sender:
-                # Local mirror: plain store, visible at the next poll.
-                rr = self._receivers[r]
-                rr._on_data(seq, payload, size_bytes)
+        wires = self._wires
+        interval = self.signal_interval
+        direct = fabric._partition is None
+        # All remote deposits of one broadcast fuse into a single
+        # macro-event (local mirrors are plain stores and stay inline);
+        # the try/finally guarantees buffered steps are flushed even if
+        # a later receiver's QP raises SendQueueFullError mid-fan-out.
+        sink = self._sink if fabric.engine.chain_enabled else None
+        try:
+            for r in dests:
+                if r == sender:
+                    # Local mirror: plain store, visible at the next poll.
+                    rr = self._receivers[r]
+                    rr._on_data(seq, payload, size_bytes)
+                    if two_writes:
+                        rr._on_counter(seq)
+                    continue
+                count = since[r] + 1
+                signaled = count >= interval
+                since[r] = 0 if signaled else count
+                wire = wires.get(r) if direct else None
+                if wire is not None:
+                    region, rkey, qp = wire
+                    qp.post_write(region, rkey, ("data", seq), payload,
+                                  size_bytes, signaled, ("ring", seq),
+                                  earliest_ns, sink)
+                    if two_writes:
+                        # Separate 8-byte counter update (still >= 80 wire
+                        # bytes).
+                        qp.post_write(region, rkey, ("counter", seq), None,
+                                      8, False, None, earliest_ns, sink)
+                    continue
+                region, rkey = self._regions[r]
+                write(sender, r, region, rkey, ("data", seq), payload,
+                      size_bytes, signaled=signaled, wr_id=("ring", seq),
+                      earliest_ns=earliest_ns, sink=sink)
                 if two_writes:
-                    rr._on_counter(seq)
-                continue
-            region, rkey = self._regions[r]
-            count = since[r] + 1
-            signaled = count >= self.signal_interval
-            since[r] = 0 if signaled else count
-            write(sender, r, region, rkey, ("data", seq), payload,
-                  size_bytes, signaled=signaled, wr_id=("ring", seq),
-                  earliest_ns=earliest_ns)
-            if two_writes:
-                # Separate 8-byte counter update (still >= 80 wire bytes).
-                write(sender, r, region, rkey, ("counter", seq), None,
-                      8, signaled=False, earliest_ns=earliest_ns)
+                    write(sender, r, region, rkey, ("counter", seq), None,
+                          8, signaled=False, earliest_ns=earliest_ns, sink=sink)
+        finally:
+            if sink is not None:
+                sink.commit()
         return seq
 
     # -------------------------------------------------------------- release
@@ -252,3 +285,4 @@ class RingBuffer:
         self._since_signal.pop(receiver, None)
         self._receivers.pop(receiver, None)
         self._regions.pop(receiver, None)
+        self._wires.pop(receiver, None)

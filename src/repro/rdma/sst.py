@@ -44,14 +44,29 @@ class SharedStateTable:
         # re-evaluation when nothing has landed since its last look.
         self._versions: dict[int, int] = {m: 0 for m in self.members}
         self._regions: dict[int, tuple[Any, int]] = {}
-        self._since_signal: dict[tuple[int, int], int] = {}
+        # Pre-seeded for every ordered member pair so push never pays the
+        # .get default path.
+        self._since_signal: dict[tuple[int, int], int] = {
+            (m, t): 0 for m in self.members for t in self.members if m != t}
+        self._write = fabric.write  # prebound: one hot call per push target
         self._wr_id = ("sst", name)  # one shared tuple, not one per push
+        self._sink = fabric.engine.chain_builder()  # reusable fan-out fuser
         self.pushes = 0
         for m in self.members:
             region = self.fabric.register(
                 m, f"sst.{name}.{m}", size_bytes=row_size_bytes * len(self.members),
                 on_write=lambda row, value, _size, m=m: self._apply(m, row, value))
             self._regions[m] = (region, region.grant())
+        # Hot-path cache: (region, rkey, qp) per ordered pair, so push can
+        # post straight to the QP — skipping the fabric.write indirection —
+        # whenever no partition is active (the only behaviour fabric.write
+        # adds on this lane).
+        self._wires: dict[tuple[int, int], tuple[Any, int, Any]] = {}
+        for m in self.members:
+            region, rkey = self._regions[m]
+            for src in self.members:
+                if src != m and (src, m) in fabric.qps:
+                    self._wires[(src, m)] = (region, rkey, fabric.qps[(src, m)])
 
     def _apply(self, holder: int, row: int, value: Any) -> None:
         self.copies[holder][row] = value
@@ -89,22 +104,46 @@ class SharedStateTable:
              earliest_ns: int = 0) -> None:
         """Mirror ``node``'s own row to ``targets`` (default: all peers)
         with one one-sided write each (``push_mine`` / ``push_mine_to``).
+
+        With macro-event fusion on, the per-peer deposits of one push
+        ride a single fused chain (the loop schedules nothing between
+        writes, so the fused tie-break seqs are exactly the unfused
+        ones; see :class:`~repro.sim.engine.ChainBuilder`).
         """
+        fabric = self.fabric
         value = self.copies[node][node]
         dests = targets if targets is not None else self.members
         since = self._since_signal
-        for t in dests:
-            if t == node:
-                continue
-            region, rkey = self._regions[t]
-            k = (node, t)
-            count = since.get(k, 0) + 1
-            signaled = count >= self.signal_interval
-            since[k] = 0 if signaled else count
-            self.fabric.write(node, t, region, rkey, node, value,
-                              self.row_size_bytes, signaled=signaled,
-                              wr_id=self._wr_id, earliest_ns=earliest_ns)
-            self.pushes += 1
+        wires = self._wires
+        row_bytes = self.row_size_bytes
+        interval = self.signal_interval
+        wr_id = self._wr_id
+        direct = fabric._partition is None  # fabric.write only adds the
+        pushed = 0                          # partition drop on this lane
+        sink = self._sink if fabric.engine.chain_enabled else None
+        try:
+            for t in dests:
+                if t == node:
+                    continue
+                k = (node, t)
+                count = since[k] + 1
+                signaled = count >= interval
+                since[k] = 0 if signaled else count
+                wire = wires.get(k) if direct else None
+                if wire is not None:
+                    region, rkey, qp = wire
+                    qp.post_write(region, rkey, node, value, row_bytes,
+                                  signaled, wr_id, earliest_ns, sink)
+                else:
+                    region, rkey = self._regions[t]
+                    self._write(node, t, region, rkey, node, value, row_bytes,
+                                signaled=signaled, wr_id=wr_id,
+                                earliest_ns=earliest_ns, sink=sink)
+                pushed += 1
+        finally:
+            self.pushes += pushed
+            if sink is not None:
+                sink.commit()
 
     def set_and_push(self, node: int, value: Any,
                      targets: Optional[Iterable[int]] = None,

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from itertools import repeat
 from typing import Any, Callable, Optional
 
 from repro.sim.engine import Engine, Event, us
@@ -91,7 +92,11 @@ class Cpu:
         if self.halted:
             return None
         start = max(self.engine.now, self.busy_until)
-        finish = start + int(cost_ns * self.speed_factor)
+        sf = self.speed_factor
+        # int(cost * 1.0) == cost for int costs: skip the float round-trip
+        # on the (default) unit-speed path.
+        finish = start + (cost_ns if sf == 1.0 and type(cost_ns) is int
+                          else int(cost_ns * sf))
         self.busy_until = finish
         return self.engine.schedule_at(finish, self._run, fn, args)
 
@@ -198,7 +203,23 @@ class Process:
             return
         # The next poll cannot begin while the CPU is still busy with the
         # previous batch; polling resumes once the loop comes back around.
-        at = max(self.engine.now + self._poll_gap(), self.cpu.busy_until + 1)
+        # The gap draw inlines _poll_gap's common configuration (unit
+        # speed, jittered) as the same getrandbits rejection sampling
+        # randrange performs internally (see _wake_at_tick).
+        cfg = self.config
+        base = cfg.poll_interval_ns
+        jitter = cfg.poll_jitter_ns
+        if cfg.speed_factor == 1.0 and base >= 1 and jitter:
+            grb = self._rng.getrandbits
+            n = jitter + 1
+            k = n.bit_length()
+            r = grb(k)
+            while r >= n:
+                r = grb(k)
+            gap = base + r
+        else:
+            gap = self._poll_gap()
+        at = max(self.engine.now + gap, self.cpu.busy_until + 1)
         self._poll_event = self.engine.schedule_at(at, self._poll_tick)
 
     def _poll_tick(self) -> None:
@@ -294,20 +315,90 @@ class Process:
 
     def _wake_at_tick(self, wake_time: int, posted_at: Optional[int]) -> None:
         """Fast-forward the virtual poll schedule to the first tick >=
-        ``wake_time`` and materialise the poll event there."""
+        ``wake_time`` and materialise the poll event there.
+
+        This replay loop dominates farm-scale profiles (millions of
+        virtual ticks), so the common configuration — unit speed factor,
+        positive base interval — runs inline fast paths that consume the
+        RNG stream *identically* to :meth:`_poll_gap`: the jittered path
+        rejection-samples ``getrandbits(k)`` exactly as CPython's
+        ``Random.randrange`` does internally, and the jitter-free path
+        advances the cursor in closed form without iterating.  The
+        config is re-read on every call because failure injection
+        (``slow_node``) mutates ``speed_factor`` mid-run.
+        """
+        cfg = self.config
         prev = self._park_cursor
-        t = prev + self._poll_gap()
-        while t < wake_time:
-            prev = t
+        base = cfg.poll_interval_ns
+        jitter = cfg.poll_jitter_ns
+        if cfg.speed_factor == 1.0 and base >= 1:
+            if jitter:
+                # max(1, int(gap * 1.0)) == gap for gap = base + r >= 1,
+                # so each virtual tick is base plus one randrange(jitter+1)
+                # draw, inlined as getrandbits rejection sampling.
+                grb = self._rng.getrandbits
+                n = jitter + 1
+                k = n.bit_length()
+                # Bulk phase: a tick advances at most base + jitter, so
+                # the first m ticks are guaranteed to stay short of
+                # wake_time and their jitter draws can be consumed in
+                # C-level chunks.  Each accepted value needs at least one
+                # getrandbits call, so drawing exactly `need` calls per
+                # round can never overshoot the rejection-sampled stream:
+                # the call-for-call consumption is identical to the
+                # one-at-a-time loop below.
+                m = (wake_time - prev - 1) // (base + jitter)
+                if m > 0:
+                    acc = 0
+                    need = m
+                    while need:
+                        vals = list(map(grb, repeat(k, need)))
+                        rej = [v for v in vals if v >= n]
+                        acc += sum(vals)
+                        if rej:
+                            acc -= sum(rej)
+                            need = len(rej)
+                        else:
+                            need = 0
+                    prev += m * base + acc
+                r = grb(k)
+                while r >= n:
+                    r = grb(k)
+                t = prev + base + r
+                while t < wake_time:
+                    prev = t
+                    r = grb(k)
+                    while r >= n:
+                        r = grb(k)
+                    t = prev + base + r
+                if t == wake_time and posted_at is not None and posted_at > prev:
+                    # The deposit lands exactly on a poll tick, but its
+                    # delivery was scheduled after that tick's event would
+                    # have been (the unparked poll was created at the
+                    # previous tick): the real poll fires first and misses
+                    # it.  First observing tick is the next one.
+                    prev = t
+                    r = grb(k)
+                    while r >= n:
+                        r = grb(k)
+                    t = prev + base + r
+            else:
+                # Deterministic gap: jump the cursor in closed form.
+                delta = wake_time - prev
+                ticks = 1 if delta <= base else -(-delta // base)
+                t = prev + ticks * base
+                prev = t - base
+                if t == wake_time and posted_at is not None and posted_at > prev:
+                    prev = t
+                    t = prev + base
+        else:
             t = prev + self._poll_gap()
-        if t == wake_time and posted_at is not None and posted_at > prev:
-            # The deposit lands exactly on a poll tick, but its delivery
-            # was scheduled after that tick's event would have been (the
-            # unparked poll was created at the previous tick): the real
-            # poll fires first and misses it.  First observing tick is
-            # the next one.
-            prev = t
-            t = prev + self._poll_gap()
+            while t < wake_time:
+                prev = t
+                t = prev + self._poll_gap()
+            if t == wake_time and posted_at is not None and posted_at > prev:
+                prev = t
+                t = prev + self._poll_gap()
         self._parked = False
         if self._horizon_event is not None:
             self._horizon_event.cancel()

@@ -1,0 +1,94 @@
+"""Macro-event fusion must be invisible: fused runs are bit-identical.
+
+Compiled event chains collapse a fan-out's (or an arrival batch's) N
+heap entries into one, but every step still executes at its own
+timestamp with its own tie-break seq, drawing from the same RNG streams
+in the same order — so the observable run (trace fingerprint, delivery
+order and timing, leader, tracer summary) must be *identical* with
+fusion on (the default) and off (``REPRO_CHAIN=0``).  Unlike parking,
+fusion does not elide any execution: the executed-event count must be
+*equal*; only heap pushes may drop.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from tests.properties.test_park_equivalence import SYSTEMS, run_observed
+
+
+def run_with_chain(flag, name):
+    prior = os.environ.get("REPRO_CHAIN")
+    os.environ["REPRO_CHAIN"] = flag
+    try:
+        return run_observed(name)
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_CHAIN", None)
+        else:
+            os.environ["REPRO_CHAIN"] = prior
+
+
+@pytest.mark.parametrize("name", SYSTEMS)
+def test_fused_run_is_bit_identical(name):
+    fused, fused_events = run_with_chain("1", name)
+    unfused, unfused_events = run_with_chain("0", name)
+    assert fused == unfused
+    # Fusion changes how events are stored, never whether they run.
+    assert fused_events == unfused_events
+
+
+def _shard_invariants(flag):
+    from repro.harness.hostperf import SHARD_POINT
+    from repro.harness.shardsweep import shard_point
+
+    prior = os.environ.get("REPRO_CHAIN")
+    os.environ["REPRO_CHAIN"] = flag
+    try:
+        spec = SHARD_POINT.replace(duration_ms=2.0)
+        pt = shard_point(spec)
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_CHAIN", None)
+        else:
+            os.environ["REPRO_CHAIN"] = prior
+    behaviour = (pt.submitted, pt.committed, pt.dropped, pt.mean_latency_us,
+                 pt.p50_latency_us, pt.p99_latency_us, pt.hottest_share,
+                 pt.events_executed)
+    return behaviour, pt.heap_pushes
+
+
+def test_shard_farm_fused_is_bit_identical_and_cheaper():
+    """The farm path exercises batched arrivals on top of the fan-out
+    chains; behaviour must match exactly while heap traffic drops."""
+    fused, fused_pushes = _shard_invariants("1")
+    unfused, unfused_pushes = _shard_invariants("0")
+    assert fused == unfused
+    assert fused_pushes < unfused_pushes
+
+
+def test_fusion_reduces_heap_pushes_on_rdma_systems():
+    """On an SST/ring system the fan-out chains must actually bite."""
+    from repro.harness.factory import build_system, settle
+    from repro.sim.engine import Engine, ms
+
+    def pushes(flag):
+        prior = os.environ.get("REPRO_CHAIN")
+        os.environ["REPRO_CHAIN"] = flag
+        try:
+            engine = Engine(seed=11)
+            system = build_system("acuerdo", engine, 3)
+            settle(system)
+            for i in range(8):
+                system.submit(("c", i), 64)
+            engine.run(until=engine.now + ms(2))
+            return engine.heap_pushes
+        finally:
+            if prior is None:
+                os.environ.pop("REPRO_CHAIN", None)
+            else:
+                os.environ["REPRO_CHAIN"] = prior
+
+    assert pushes("1") < pushes("0")

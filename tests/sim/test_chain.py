@@ -1,0 +1,223 @@
+"""Unit tests for compiled event chains (macro-event fusion).
+
+The property suite (tests/properties/test_chain_equivalence.py) pins
+whole-system bit-identity; these tests pin the engine-level contract:
+validation, cancellation, stop(), budget/step interaction, seq
+allocation modes and the interleaving rule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.engine import Engine
+
+
+def rec(log, tag):
+    def fn(*args):
+        log.append((tag, args))
+    return fn
+
+
+# ------------------------------------------------------------- validation
+
+
+def test_empty_chain_is_none():
+    e = Engine(seed=1)
+    assert e.schedule_chain([]) is None
+    assert e.pending == 0
+
+
+def test_zero_offsets_run_at_now():
+    e = Engine(seed=1)
+    log = []
+    e.schedule_chain([(0, rec(log, "a"), ()), (0, rec(log, "b"), ())])
+    e.run()
+    assert log == [("a", ()), ("b", ())]
+    assert e.now == 0
+
+
+def test_negative_offset_raises():
+    e = Engine(seed=1)
+    with pytest.raises(ValueError, match="negative chain offset"):
+        e.schedule_chain([(-1, rec([], "a"), ())])
+
+
+def test_non_integral_offset_raises():
+    e = Engine(seed=1)
+    with pytest.raises(ValueError, match="non-integral"):
+        e.schedule_chain([(1.5, rec([], "a"), ())])
+
+
+def test_integral_float_offset_coerces():
+    e = Engine(seed=1)
+    log = []
+    e.schedule_chain([(2.0, rec(log, "a"), ())])
+    e.run()
+    assert log == [("a", ())] and e.now == 2
+
+
+def test_decreasing_offsets_raise():
+    e = Engine(seed=1)
+    with pytest.raises(ValueError, match="non-decreasing"):
+        e.schedule_chain([(5, rec([], "a"), ()), (3, rec([], "b"), ())])
+
+
+# ----------------------------------------------------------- cancellation
+
+
+def test_cancel_before_any_step():
+    e = Engine(seed=1)
+    log = []
+    ch = e.schedule_chain([(1, rec(log, "a"), ()), (2, rec(log, "b"), ())])
+    ch.cancel()
+    e.run()
+    assert log == []
+
+
+def test_cancel_mid_chain_from_inside_a_step():
+    e = Engine(seed=1)
+    log = []
+    holder = {}
+
+    def first():
+        log.append("a")
+        holder["ch"].cancel()
+
+    holder["ch"] = e.schedule_chain([(1, first, ()), (2, rec(log, "b"), ())])
+    e.run()
+    assert log == ["a"]
+
+
+def test_cancel_from_external_event_between_steps():
+    e = Engine(seed=1)
+    log = []
+    ch = e.schedule_chain([(1, rec(log, "a"), ()), (5, rec(log, "b"), ())])
+    e.schedule_at(3, ch.cancel)
+    e.run()
+    assert log == [("a", ())]
+
+
+def test_cancel_is_idempotent():
+    e = Engine(seed=1)
+    ch = e.schedule_chain([(1, rec([], "a"), ())])
+    ch.cancel()
+    ch.cancel()
+    e.run()
+
+
+def test_fallback_handle_cancels_when_fusion_disabled(monkeypatch):
+    monkeypatch.setenv("REPRO_CHAIN", "0")
+    e = Engine(seed=1)
+    assert not e.chain_enabled
+    log = []
+    ch = e.schedule_chain([(1, rec(log, "a"), ()), (2, rec(log, "b"), ())])
+    ch.cancel()
+    e.run()
+    assert log == []
+
+
+# ------------------------------------------------- stop / budget / step
+
+
+def test_stop_mid_chain_halts_after_current_step():
+    """Engine.stop() from inside a chain step must end run() right
+    there, deterministically, with the remaining steps intact."""
+    e = Engine(seed=1)
+    log = []
+
+    def stopper():
+        log.append("a")
+        e.stop()
+
+    e.schedule_chain([(1, stopper, ()), (2, rec(log, "b"), ())])
+    executed = e.run()
+    assert executed == 1
+    assert log == ["a"]
+    assert e.now == 1
+    # The tail is still scheduled: resuming runs it.
+    e.run()
+    assert log == ["a", ("b", ())]
+    assert e.now == 2
+
+
+def test_step_executes_one_chain_step_at_a_time():
+    e = Engine(seed=1)
+    log = []
+    e.schedule_chain([(1, rec(log, "a"), ()), (2, rec(log, "b"), ()),
+                      (3, rec(log, "c"), ())])
+    assert e.step() and log == [("a", ())]
+    assert e.step() and log == [("a", ()), ("b", ())]
+    assert e.step() and log == [("a", ()), ("b", ()), ("c", ())]
+    assert not e.step()
+
+
+def test_events_executed_counts_each_step():
+    e = Engine(seed=1)
+    e.schedule_chain([(1, rec([], "a"), ()), (2, rec([], "b"), ())])
+    e.run()
+    assert e.events_executed == 2
+
+
+def test_chain_yields_to_earlier_interleaved_event():
+    e = Engine(seed=1)
+    log = []
+    e.schedule_chain([(1, rec(log, "a"), ()), (10, rec(log, "c"), ())])
+    e.schedule_at(5, rec(log, "b"))
+    e.run()
+    assert [t for t, _ in log] == ["a", "b", "c"]
+
+
+def test_chain_vs_schedule_at_seq_tiebreak_identical():
+    """A chain scheduled before a same-timestamp event keeps the seq
+    order N schedule_at calls would have produced."""
+    def run(fused):
+        import os
+        prior = os.environ.get("REPRO_CHAIN")
+        os.environ["REPRO_CHAIN"] = "1" if fused else "0"
+        try:
+            e = Engine(seed=1)
+            log = []
+            e.schedule_chain([(5, rec(log, "chain0"), ()),
+                              (7, rec(log, "chain1"), ())])
+            e.schedule_at(7, rec(log, "later"))
+            e.run()
+            return [t for t, _ in log]
+        finally:
+            if prior is None:
+                os.environ.pop("REPRO_CHAIN", None)
+            else:
+                os.environ["REPRO_CHAIN"] = prior
+
+    assert run(True) == run(False) == ["chain0", "chain1", "later"]
+
+
+def test_dynamic_chain_draws_seqs_from_live_counter():
+    e = Engine(seed=1)
+    log = []
+
+    def mid():
+        # A same-time event allocated *during* the step must sort before
+        # the next step, exactly as a self-rescheduling callback's own
+        # schedule call would order them.
+        e.schedule_at(e.now, rec(log, "inner"))
+        log.append(("mid", ()))
+
+    e.schedule_chain([(1, mid, ()), (1, rec(log, "next"), ())], dynamic=True)
+    e.run()
+    assert [t for t, _ in log] == ["mid", "inner", "next"]
+
+
+# --------------------------------------------- schedule coercion helpers
+
+
+def test_schedule_and_schedule_at_share_coercion_rules():
+    e = Engine(seed=1)
+    with pytest.raises(ValueError, match="non-integral"):
+        e.schedule(1.5, rec([], "a"))
+    with pytest.raises(ValueError, match="non-integral"):
+        e.schedule_at(1.5, rec([], "a"))
+    # Integral floats coerce identically on both paths.
+    ev1 = e.schedule(2.0, rec([], "a"))
+    ev2 = e.schedule_at(2.0, rec([], "b"))
+    assert ev1.time == ev2.time == 2

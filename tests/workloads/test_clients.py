@@ -167,3 +167,66 @@ def test_open_loop_rejects_unknown_modes():
         OpenLoopClient(c, period_ns=us(10), message_size=10, arrival="burst")
     with pytest.raises(ValueError):
         OpenLoopClient(c, period_ns=us(10), message_size=10, key_dist="pareto")
+
+
+def _run_openloop_observed(chain_flag, seed=3, arrival="poisson",
+                           key_dist="uniform", chain_batch=64):
+    """One open-loop run under the given REPRO_CHAIN flag: the
+    per-message observables plus the engine's event/heap counters."""
+    import os
+
+    prior = os.environ.get("REPRO_CHAIN")
+    os.environ["REPRO_CHAIN"] = chain_flag
+    try:
+        e, c = _system(seed=seed)
+        client = OpenLoopClient(c, period_ns=us(5), message_size=10,
+                                arrival=arrival, key_dist=key_dist,
+                                key_space=64, chain_batch=chain_batch)
+        client.start()
+        e.run(until=ms(2))
+        client.stop()
+        e.run(until=ms(2) + us(50))
+        observed = (client.sent, client.committed, client.dropped,
+                    tuple(client.commit_times), tuple(client.latencies_ns),
+                    repr(e.trace.fingerprint()), e.events_executed)
+        return observed, e.heap_pushes
+    finally:
+        if prior is None:
+            os.environ.pop("REPRO_CHAIN", None)
+        else:
+            os.environ["REPRO_CHAIN"] = prior
+
+
+def test_open_loop_batched_arrivals_bit_identical():
+    """Fused arrival batches must reproduce the per-tick schedule
+    exactly — same submissions, commits, latencies, fingerprint and
+    executed-event count — while paying fewer heap pushes."""
+    fused, fused_pushes = _run_openloop_observed("1")
+    unfused, unfused_pushes = _run_openloop_observed("0")
+    assert fused == unfused
+    assert fused_pushes < unfused_pushes
+
+
+def test_open_loop_batched_fixed_rate_bit_identical():
+    """The batch path also covers the RNG-free fixed-rate client."""
+    fused, _ = _run_openloop_observed("1", arrival="fixed", key_dist=None)
+    unfused, _ = _run_openloop_observed("0", arrival="fixed", key_dist=None)
+    assert fused == unfused
+
+
+def test_open_loop_custom_payload_fn_keeps_per_tick_path():
+    """A stateful payload_fn must be called at its tick's time, so the
+    client declines to batch (payloads would be pre-built early)."""
+    import os
+
+    assert os.environ.get("REPRO_CHAIN", "1") != "0"
+    e, c = _system()
+    calls = []
+    client = OpenLoopClient(c, period_ns=us(10), message_size=10,
+                            payload_fn=lambda i: calls.append(e.now) or ("m", i))
+    client.start()
+    e.run(until=ms(1))
+    client.stop()
+    # One call per submission, at strictly increasing tick times.
+    assert len(calls) == client.sent
+    assert all(a < b for a, b in zip(calls, calls[1:]))
