@@ -14,15 +14,16 @@ Measured on identical 5-node crash-the-leader scenarios:
 from __future__ import annotations
 
 from benchmarks.conftest import emit, run_once
-from repro.harness.factory import build_system, settle
+from repro.harness.factory import build_from_spec, settle
 from repro.harness.render import render_table
+from repro.harness.runspec import RunSpec
 from repro.sim import Engine, ms, us
 from repro.workloads.openloop import OpenLoopClient
 
 
 def _failover_gap(name: str, seed: int) -> dict:
     engine = Engine(seed=seed)
-    system = build_system(name, engine, 5)
+    system = build_from_spec(RunSpec(system=name, n=5, seed=seed), engine)
     settle(system, preseed=False)
     client = OpenLoopClient(system, period_ns=us(50), message_size=10)
     client.start()

@@ -15,9 +15,10 @@ and the RDMC relay closes the gap (and overtakes) as payloads grow.
 from __future__ import annotations
 
 from benchmarks.conftest import WORKERS, emit, run_once
-from repro.harness.fig8 import fig8_sweep, knee
+from repro.harness.fig8 import knee, sweep
 from repro.harness.parallel import run_points
 from repro.harness.render import render_table
+from repro.harness.runspec import RunSpec
 
 SIZES = (10, 1_000, 16_384, 65_536)
 N = 7
@@ -26,8 +27,10 @@ N = 7
 def _run() -> dict:
     cells = [(name, size) for size in SIZES
              for name in ("acuerdo", "derecho-leader")]
-    sweeps = run_points(fig8_sweep,
-                        [(name, N, size, 1, 64, 150) for name, size in cells],
+    sweeps = run_points(sweep,
+                        [(RunSpec(system=name, n=N, payload_bytes=size,
+                                  seed=1), 64, 150)
+                         for name, size in cells],
                         workers=WORKERS)
     return {cell: knee(pts).throughput_mb_s
             for cell, pts in zip(cells, sweeps)}

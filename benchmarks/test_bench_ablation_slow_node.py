@@ -13,9 +13,10 @@ and without the slow node, plus Acuerdo's catch-up behaviour.
 from __future__ import annotations
 
 from benchmarks.conftest import WORKERS, emit, run_once
-from repro.harness.factory import build_system, settle
+from repro.harness.factory import build_from_spec, settle
 from repro.harness.parallel import run_points
 from repro.harness.render import render_table
+from repro.harness.runspec import RunSpec
 from repro.protocols.derecho import DerechoConfig
 from repro.sim import Engine, ms, us
 from repro.workloads.closedloop import ClosedLoopClient
@@ -31,7 +32,8 @@ def _measure(name: str, slow: bool, seed: int = 3) -> dict:
         # isolates slow-node *waiting*, not view changes.
         kwargs["config"] = DerechoConfig(mode="leader",
                                          heartbeat_timeout_ns=us(800))
-    system = build_system(name, engine, 3, **kwargs)
+    system = build_from_spec(RunSpec(system=name, n=3, seed=seed), engine,
+                             **kwargs)
     settle(system)
     if slow:
         victim = [p for p in system.processes() if p.node_id == 2][0]

@@ -17,9 +17,10 @@ the comparison the paper's related-work section argues qualitatively:
 from __future__ import annotations
 
 from benchmarks.conftest import emit, run_once
-from repro.harness.factory import build_system, settle
-from repro.harness.fig8 import fig8_point
+from repro.harness.factory import build_from_spec, settle
+from repro.harness.fig8 import point
 from repro.harness.render import render_table
+from repro.harness.runspec import RunSpec
 from repro.sim import Engine, ms, us
 from repro.workloads.openloop import OpenLoopClient
 
@@ -27,14 +28,15 @@ LINEAGE = ["mu", "acuerdo", "dare", "apus"]
 
 
 def _latency_row(name: str) -> list:
-    p = fig8_point(name, 3, 10, window=1, min_completions=250)
+    p = point(RunSpec(system=name, n=3, payload_bytes=10, window=1),
+              min_completions=250)
     return [name, round(p.mean_latency_us, 1), round(p.p99_latency_us, 1),
             round(p.throughput_mb_s, 3)]
 
 
 def _failover_ms(name: str, seed: int) -> float:
     engine = Engine(seed=seed)
-    system = build_system(name, engine, 5)
+    system = build_from_spec(RunSpec(system=name, n=5, seed=seed), engine)
     settle(system, preseed=False)
     client = OpenLoopClient(system, period_ns=us(50), message_size=10)
     client.start()

@@ -20,8 +20,8 @@ from __future__ import annotations
 import pytest
 
 from benchmarks.conftest import WORKERS, emit, run_once
-from repro.harness import SYSTEMS, render_table
-from repro.harness.fig8 import Fig8Point, fig8_sweep, floor, knee
+from repro.harness import RunSpec, SYSTEMS, render_table
+from repro.harness.fig8 import Fig8Point, floor, knee, sweep
 from repro.harness.parallel import run_points
 from repro.harness.plot import ascii_plot
 
@@ -35,8 +35,9 @@ def _panel(n: int, size: int) -> dict[str, list[Fig8Point]]:
     # internal window points stay sequential (the stopping rule is
     # adaptive), so the system axis is the parallel one here.
     sweeps = run_points(
-        fig8_sweep,
-        [(name, n, size, 1, 1024, MIN_COMPLETIONS) for name in SYSTEMS],
+        sweep,
+        [(RunSpec(system=name, n=n, payload_bytes=size, seed=1),
+          1024, MIN_COMPLETIONS) for name in SYSTEMS],
         workers=WORKERS)
     return dict(zip(SYSTEMS, sweeps))
 

@@ -14,9 +14,10 @@ This bench isolates the mechanism at two levels:
 from __future__ import annotations
 
 from benchmarks.conftest import WORKERS, emit, run_once
-from repro.harness.fig8 import fig8_sweep, knee
+from repro.harness.fig8 import knee, sweep
 from repro.harness.parallel import run_points
 from repro.harness.render import render_table
+from repro.harness.runspec import RunSpec
 from repro.sim import Engine, ms
 from repro.substrate import RingBuffer, build_substrate
 
@@ -40,8 +41,9 @@ def _full() -> dict:
     one_msgs, one_bytes = _raw_ring(1)
     two_msgs, two_bytes = _raw_ring(2)
     acu_pts, der_pts = run_points(
-        fig8_sweep,
-        [(name, 3, 10, 1, 1024, 250) for name in ("acuerdo", "derecho-leader")],
+        sweep,
+        [(RunSpec(system=name, n=3, payload_bytes=10, seed=1), 1024, 250)
+         for name in ("acuerdo", "derecho-leader")],
         workers=WORKERS)
     acu, der = knee(acu_pts), knee(der_pts)
     return {

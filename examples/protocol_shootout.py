@@ -9,14 +9,14 @@ Fig. 8 curves (the full sweeps live in ``benchmarks/``).
 Run:  python examples/protocol_shootout.py
 """
 
-from repro.harness import SYSTEMS, build_system, render_table, settle
+from repro.harness import RunSpec, SYSTEMS, build_from_spec, render_table, settle
 from repro.sim import Engine, ms
 from repro.workloads.closedloop import ClosedLoopClient
 
 
 def measure(name: str, window: int = 4, size: int = 10) -> list:
     engine = Engine(seed=42)
-    system = build_system(name, engine, 3)
+    system = build_from_spec(RunSpec(system=name, n=3, seed=42), engine)
     settle(system)
     client = ClosedLoopClient(system, window=window, message_size=size, warmup=30)
     client.start()

@@ -9,7 +9,7 @@ latency/throughput plane as an ASCII plot.
 Run:  python examples/rdma_lineage.py
 """
 
-from repro.harness import build_system, render_table, settle
+from repro.harness import RunSpec, build_from_spec, render_table, settle
 from repro.harness.plot import ascii_plot
 from repro.sim import Engine, ms
 from repro.workloads.closedloop import ClosedLoopClient
@@ -22,7 +22,7 @@ def sweep(name: str) -> list[tuple[float, float]]:
     points = []
     for window in (1, 4, 16):
         engine = Engine(seed=7)
-        system = build_system(name, engine, 3)
+        system = build_from_spec(RunSpec(system=name, n=3, seed=7), engine)
         settle(system)
         client = ClosedLoopClient(system, window=window, message_size=10,
                                   warmup=30)

@@ -10,10 +10,15 @@ Usage::
     python -m repro shard [--shards 1 4 16 64] [--skews 0.0 0.99] [--users 100000]
     python -m repro trace --system acuerdo [--duration-ms 5] [--out t.json]
     python -m repro trace --shards 8 --users 100000 --skew 0.99  # farm trace
+    python -m repro shootout --check-invariants --crash 0@1.5
 
 Every subcommand prints the same text tables the benchmarks archive
 under ``results/``; ``trace`` additionally writes a span trace (Chrome
 trace event JSON, loadable in Perfetto, or a plain-JSON timeline).
+``shootout``, ``shard`` and ``trace`` accept ``--check-invariants``
+(run the :mod:`repro.monitors` safety monitors; violations fail the
+exit code) and repeatable ``--crash node@ms`` / ``--crash g:n@ms``
+failure-injection flags.
 """
 
 from __future__ import annotations
@@ -26,16 +31,22 @@ def _cmd_shootout(args: argparse.Namespace) -> int:
     from repro.harness import RunSpec, SYSTEMS, build_from_spec, render_table, settle
     from repro.harness.factory import EXTENSION_SYSTEMS
     from repro.sim import ms
+    from repro.sim.failure import schedule_crashes
     from repro.workloads.closedloop import ClosedLoopClient
 
     names = args.systems or (SYSTEMS + (EXTENSION_SYSTEMS if args.extensions else []))
     rows = []
+    all_violations = []
     for name in names:
         spec = RunSpec(system=name, n=args.nodes, payload_bytes=args.size,
-                       window=args.window, seed=args.seed)
+                       window=args.window, seed=args.seed,
+                       check_invariants=args.check_invariants,
+                       crashes=tuple(args.crash))
         engine = spec.make_engine()
         system = build_from_spec(spec, engine)
         settle(system)
+        if spec.crashes:
+            schedule_crashes(engine, system.processes(), spec.crashes)
         client = ClosedLoopClient(system, window=args.window,
                                   message_size=args.size, warmup=30)
         client.start()
@@ -44,20 +55,34 @@ def _cmd_shootout(args: argparse.Namespace) -> int:
             engine.run(until=engine.now + ms(4))
         client.stop()
         res = client.result()
-        rows.append([name, round(res.mean_latency_us, 1),
-                     round(res.percentile_latency_us(99), 1),
-                     round(res.throughput_mb_per_sec, 3), res.completed])
+        row = [name, round(res.mean_latency_us, 1),
+               round(res.percentile_latency_us(99), 1),
+               round(res.throughput_mb_per_sec, 3), res.completed]
+        if spec.check_invariants:
+            violations = engine.monitors.finish()
+            all_violations.extend(violations)
+            row.append(len(violations))
+        rows.append(row)
     rows.sort(key=lambda r: r[1])
+    header = ["system", "mean_lat_us", "p99_lat_us", "tput_MB_s", "msgs"]
+    if args.check_invariants:
+        header.append("violations")
     print(render_table(
         f"Shootout: {args.nodes} nodes, {args.size}-byte messages, "
-        f"window {args.window}",
-        ["system", "mean_lat_us", "p99_lat_us", "tput_MB_s", "msgs"], rows))
-    return 0
+        f"window {args.window}", header, rows))
+    return _report_violations(all_violations)
+
+
+def _report_violations(violations: list) -> int:
+    """Print observed safety violations; the exit code fails on any."""
+    for v in violations:
+        print(f"VIOLATION: {v}", file=sys.stderr)
+    return 1 if violations else 0
 
 
 def _cmd_fig8(args: argparse.Namespace) -> int:
-    from repro.harness import SYSTEMS, render_table
-    from repro.harness.fig8 import fig8_sweep, floor, knee
+    from repro.harness import RunSpec, SYSTEMS, render_table
+    from repro.harness.fig8 import floor, knee, sweep
 
     panels = {"a": (3, 10), "b": (3, 1000), "c": (7, 10), "d": (7, 1000)}
     n, size = panels[args.panel]
@@ -65,8 +90,9 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 
     names = args.systems or SYSTEMS
     sweeps = run_points(
-        fig8_sweep,
-        [(name, n, size, args.seed, 1024, args.messages) for name in names],
+        sweep,
+        [(RunSpec(system=name, n=n, payload_bytes=size, seed=args.seed),
+          1024, args.messages) for name in names],
         workers=args.workers)
     rows, summary = [], []
     for name, pts in zip(names, sweeps):
@@ -86,12 +112,13 @@ def _cmd_fig8(args: argparse.Namespace) -> int:
 
 def _cmd_table1(args: argparse.Namespace) -> int:
     from repro.harness.render import render_table
-    from repro.harness.table1 import table1_elections
+    from repro.harness.table1 import election_spec, elections
 
     from repro.harness.parallel import run_points
 
-    runs = run_points(table1_elections,
-                      [(n, args.seed, args.kills) for n in args.sizes],
+    runs = run_points(elections,
+                      [(election_spec(n, seed=args.seed, kills=args.kills),
+                        args.kills) for n in args.sizes],
                       workers=args.workers)
     rows = []
     for n, durations in zip(args.sizes, runs):
@@ -120,9 +147,12 @@ def _cmd_fig9(args: argparse.Namespace) -> int:
 
 def _cmd_elections(args: argparse.Namespace) -> int:
     from repro.harness.render import render_table
-    from repro.harness.table1 import table1_elections
+    from repro.harness.table1 import election_spec, elections
 
-    durations = table1_elections(args.nodes, seed=args.seed, kills=args.kills)
+    spec = election_spec(args.nodes, seed=args.seed, kills=args.kills)
+    if args.check_invariants:
+        spec = spec.replace(check_invariants=True)
+    durations = elections(spec, kills=args.kills)
     rows = [[i, round(d, 3)] for i, d in enumerate(durations)]
     print(render_table(f"Election durations, {args.nodes} replicas (ms)",
                        ["election", "duration_ms"], rows))
@@ -146,17 +176,28 @@ def _cmd_shard(args: argparse.Namespace) -> int:
                    payload_bytes=args.size, workload="openloop",
                    duration_ms=args.duration_ms, seed=args.seed,
                    shards=1, users=args.users, skew=0.0,
-                   arrival_rate=args.rate)
+                   arrival_rate=args.rate,
+                   check_invariants=args.check_invariants,
+                   crashes=tuple(args.crash))
     pts = shard_sweep(spec, args.shards, args.skews, workers=args.workers)
+    header = ["shards", "skew", "committed", "tput_rps", "mean_lat_us",
+              "p99_lat_us", "hottest_share", "events"]
     rows = [[p.shards, p.skew, p.committed, round(p.throughput_rps),
              round(p.mean_latency_us, 1), round(p.p99_latency_us, 1),
              round(p.hottest_share, 3), p.events_executed]
             for p in pts]
+    if args.check_invariants:
+        header.append("violations")
+        for row, p in zip(rows, pts):
+            row.append(p.violations)
     print(render_table(
         f"Shard farm: {args.system}, {args.users} users at "
-        f"{round(args.rate)} req/s, {args.duration_ms} ms",
-        ["shards", "skew", "committed", "tput_rps", "mean_lat_us",
-         "p99_lat_us", "hottest_share", "events"], rows))
+        f"{round(args.rate)} req/s, {args.duration_ms} ms", header, rows))
+    bad = sum(p.violations for p in pts)
+    if bad:
+        print(f"VIOLATIONS: {bad} safety violation(s) across the sweep",
+              file=sys.stderr)
+        return 1
     return 0
 
 
@@ -173,7 +214,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                    window=args.window, workload=args.workload,
                    duration_ms=args.duration_ms, seed=args.seed,
                    capture_spans=True, shards=args.shards, users=args.users,
-                   skew=args.skew, arrival_rate=args.rate)
+                   skew=args.skew, arrival_rate=args.rate,
+                   check_invariants=args.check_invariants,
+                   crashes=tuple(args.crash))
     res = capture_run(spec)
     if args.format == "chrome":
         doc = res.chrome()
@@ -197,7 +240,17 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     print(f"wrote {out} ({len(rec.messages)} spans, "
           f"{len(rec.nic_events)} NIC events, "
           f"{len(rec.process_events)} process events)")
-    return 0
+    return _report_violations(list(res.violations))
+
+
+def _add_safety_flags(p: argparse.ArgumentParser) -> None:
+    """Runtime-safety flags shared by the run-style subcommands."""
+    p.add_argument("--check-invariants", action="store_true",
+                   help="run the repro.monitors safety monitors over the "
+                        "run; any violation fails the exit code")
+    p.add_argument("--crash", action="append", default=[], metavar="ADDR@MS",
+                   help="crash a replica: 'node@ms' or 'group:node@ms', "
+                        "relative to workload start (repeatable)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -219,6 +272,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--systems", nargs="*", default=None)
     p.add_argument("--extensions", action="store_true",
                    help="include DARE and Mu")
+    _add_safety_flags(p)
     p.set_defaults(fn=_cmd_shootout)
 
     p = sub.add_parser("fig8", help="one Figure 8 panel")
@@ -240,6 +294,9 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("elections", help="raw election durations for one size")
     p.add_argument("--nodes", type=int, default=5)
     p.add_argument("--kills", type=int, default=4)
+    p.add_argument("--check-invariants", action="store_true",
+                   help="audit the election churn with the repro.monitors "
+                        "safety monitors (raises on any violation)")
     p.set_defaults(fn=_cmd_elections)
 
     p = sub.add_parser("shard", help="shard-farm sweep: shard count x skew")
@@ -257,6 +314,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-chain", action="store_true",
                    help="disable macro-event fusion (REPRO_CHAIN=0): "
                         "identical results, one heap entry per event")
+    _add_safety_flags(p)
     p.set_defaults(fn=_cmd_shard)
 
     p = sub.add_parser("trace", help="span-trace one run (Perfetto JSON)")
@@ -279,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
                    default="chrome")
     p.add_argument("--out", default=None,
                    help="output path (default trace_<system>_<format>.json)")
+    _add_safety_flags(p)
     p.set_defaults(fn=_cmd_trace)
     return parser
 

@@ -30,6 +30,10 @@ class AcuerdoCluster(BroadcastSystem):
                  rdma_params: Optional[RdmaParams] = None, record_deliveries: bool = True):
         super().__init__(engine, n, record_deliveries)
         self.cfg = config or AcuerdoConfig()
+        # Group-wide commit high-water mark for the monitor event stream:
+        # headers are totally ordered and the quorum monitor dedups by
+        # slot, so only the first commit of each slot needs an event.
+        self._mon_commit_hwm: Optional[object] = None
         self.fabric = self.substrate = build_substrate(
             "rdma", engine, node_ids=self.node_ids, params=rdma_params)
 

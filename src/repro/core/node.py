@@ -168,6 +168,12 @@ class AcuerdoNode(Process):
         self._rs_ver = -1
         self._rs_ns = -1
         self._rs_gen = -1
+        # Highest ring-release floor reported to engine.monitors (the
+        # slot_release event stream is monotonic per ring owner), plus
+        # the ring release generation it was computed at.
+        self._mon_floor = 0
+        self._mon_release_gen = -1
+        self._mon_admin_gen = 0
         # Set by on_poll when the fused no-op guard fired this tick, so
         # park_ready can return True without re-deriving the verdict.
         self._was_noop = False
@@ -178,6 +184,35 @@ class AcuerdoNode(Process):
         sf = cpu.speed_factor
         cpu.busy_until = max(cpu.busy_until, self.engine.now) + (
             cost_ns if sf == 1.0 and type(cost_ns) is int else int(cost_ns * sf))
+
+    def _mon_note_floor(self, monitors: Any) -> None:
+        """Report ring slot reuse to the monitors: one ``slot_release``
+        event each time the effective release floor advances (eviction
+        can move the floor outside ``_release_slots``, so bind sites
+        sync it too).  Gated on the ring's release generation so the
+        per-poll call is one int compare when nothing was released."""
+        ring = self._ring
+        if ring.release_gen == self._mon_release_gen:
+            return
+        self._mon_release_gen = ring.release_gen
+        floor = ring.released_floor()
+        if floor > self._mon_floor:
+            self._mon_floor = floor
+            # Two release paths carry no quorum-accept obligation and
+            # are tagged ``admin`` for the slot-reuse monitor: a floor
+            # advance coinciding with a membership change (eviction /
+            # epoch re-baselining jumps past the evictee's unaccepted
+            # tail), and any advance while fewer than a quorum of
+            # receivers remain in accounting (the escape-hatch regime:
+            # excluded laggards recover via the next epoch's diff, and
+            # nothing released sub-quorum can have committed).
+            admin = (ring.admin_gen != self._mon_admin_gen
+                     or ring.accept_accounted < self.quorum)
+            self._mon_admin_gen = ring.admin_gen
+            monitors.note(self.cluster, "slot_release", self.node_id, seq=floor,
+                          extra="admin" if admin else None)
+        else:
+            self._mon_admin_gen = ring.admin_gen
 
     # ------------------------------------------------------------ event loop
 
@@ -359,6 +394,9 @@ class AcuerdoNode(Process):
         self.request_poll()
 
     def _pump_client_queue(self) -> None:
+        monitors = self.engine.monitors
+        if monitors is not None:
+            self._mon_note_floor(monitors)
         while self._pending_diffs:
             j, msg = self._pending_diffs[0]
             seq = self._ring.try_send(msg, msg.size, targets=[j])
@@ -366,6 +404,12 @@ class AcuerdoNode(Process):
                 return
             self._diff_seq[j] = seq
             self._pending_diffs.pop(0)
+            if monitors is not None:
+                # Diffs occupy ring slots but are released per receiver
+                # by epoch bookkeeping, not quorum accept: bind with a
+                # None slot (no reuse-safety obligation of their own).
+                monitors.note(self.cluster, "slot_bind", self.node_id,
+                              seq=seq, extra=self._ring.capacity)
         budget = self.cfg.max_broadcasts_per_poll
         while self.pending_client and budget > 0:
             budget -= 1
@@ -388,6 +432,9 @@ class AcuerdoNode(Process):
             self.pending_client.pop(0)
             self.Count += 1
             self._epoch_msg_seq[hdr.cnt] = seq
+            if monitors is not None:
+                monitors.note(self.cluster, "slot_bind", self.node_id,
+                              slot=hdr, seq=seq, extra=self._ring.capacity)
             if on_commit is not None:
                 self._on_commit_cb[hdr] = on_commit
             self.engine.trace.count("acuerdo.broadcast")
@@ -415,6 +462,7 @@ class AcuerdoNode(Process):
 
     def _drain_rings(self) -> None:
         accepted_any = False
+        mon_prev = self.Accepted
         for rr in self._ring_mirrors:
             if not rr._ready:
                 continue
@@ -429,6 +477,15 @@ class AcuerdoNode(Process):
             if ldr != self.node_id:
                 self._accept_sst.push(self.node_id, targets=[ldr],
                                       earliest_ns=self.cpu.busy_until)
+        if self.Accepted != mon_prev:
+            monitors = self.engine.monitors
+            if monitors is not None:
+                # Cumulative accept frontier, batched exactly like the
+                # Accept-SST acknowledgment above: the newest header
+                # implicitly covers the whole drained batch, and it is
+                # the only frontier any quorum observer ever sees.
+                monitors.note(self.cluster, "accept", self.node_id,
+                              slot=self.Accepted)
 
     def _accept(self, msg: Message) -> bool:
         """Handle one incoming message; returns True when a normal accept
@@ -443,6 +500,8 @@ class AcuerdoNode(Process):
             self.Accepted = msg.hdr
             self._accept_sst.write_local(self.node_id, msg.hdr)
             self.engine.trace.count("acuerdo.accept")
+            # Monitor accept events are emitted per drained batch by
+            # _drain_rings (same batching as the Accept-SST push).
             if e.leader != self.node_id:
                 obs = self.engine.obs
                 if obs is not None:
@@ -479,6 +538,11 @@ class AcuerdoNode(Process):
         self._charge(self.cfg.accept_cpu_ns * (1 + len(entries)))
         self.Accepted = msg.hdr
         self._accept_sst.write_local(self.node_id, msg.hdr)
+        monitors = self.engine.monitors
+        if monitors is not None:
+            # Accepting the epoch-opening diff means adopting the new
+            # leader's whole log prefix: the frontier jumps to (e, 0).
+            monitors.note(self.cluster, "accept", self.node_id, slot=msg.hdr)
         if e.leader != self.node_id:
             self._accept_sst.push(self.node_id, targets=[e.leader],
                                   earliest_ns=self.cpu.busy_until)
@@ -557,6 +621,20 @@ class AcuerdoNode(Process):
         obs = self.engine.obs
         if obs is not None and m.payload is not NOOP:
             obs.mark(m, "commit", self.engine.now)
+        monitors = self.engine.monitors
+        if monitors is not None:
+            # Every commit (no-ops included) must be quorum-covered.
+            # Headers are totally ordered and each node commits them in
+            # order, so only the group-wide *first* commit of a slot
+            # carries a new proof obligation — later replicas re-commit
+            # slots already checked (the monitor would dedup them by
+            # slot anyway); suppressing them at the source keeps the
+            # monitored hot path cheap.
+            cluster = self.cluster
+            hwm = cluster._mon_commit_hwm
+            if hwm is None or m.hdr > hwm:
+                cluster._mon_commit_hwm = m.hdr
+                monitors.note(cluster, "commit", self.node_id, slot=m.hdr)
         cb = self._on_commit_cb.pop(m.hdr, None)
         if cb is not None:
             # The client-visible acknowledgment leaves once the commit
@@ -635,6 +713,9 @@ class AcuerdoNode(Process):
             seq = self._diff_seq.get(k) if h.cnt == 0 else self._epoch_msg_seq.get(h.cnt)
             if seq is not None:
                 ring.mark_released(k, seq + 1)
+        monitors = self.engine.monitors
+        if monitors is not None:
+            self._mon_note_floor(monitors)
 
     def _observe_peer_heartbeats(self) -> None:
         # Version guard: commit-row versions bump exactly when a row in
@@ -774,6 +855,14 @@ class AcuerdoNode(Process):
             self._evicted.discard(j)
             self._ring.include_in_accounting(j, base)
         self._evict_next_due = -1  # eviction state changed outside the scan
+        monitors = self.engine.monitors
+        if monitors is not None:
+            # Exclusive leadership claim for this epoch (the term of the
+            # single-leader invariant).  The full ``(round, leader)``
+            # pair is the term: like Paxos ballots, distinct candidates
+            # may race distinct epochs sharing a round number.
+            monitors.note(self.cluster, "leader", self.node_id,
+                          term=self.E_new)
         comm_cpy = self._commit_sst.snapshot(self.node_id)
         hdr = MsgHdr(self.E_new, 0)
         for j in self.peers:
@@ -785,6 +874,9 @@ class AcuerdoNode(Process):
             seq = self._ring.try_send(dmsg, dmsg.size, targets=[j])
             if seq is not None:
                 self._diff_seq[j] = seq
+                if monitors is not None:
+                    monitors.note(self.cluster, "slot_bind", self.node_id,
+                                  seq=seq, extra=self._ring.capacity)
             else:
                 self._pending_diffs.append((j, dmsg))
         self._charge(self.cfg.broadcast_cpu_ns * len(self.peers))
@@ -814,3 +906,10 @@ class AcuerdoNode(Process):
         self._accept_sst.write_local(self.node_id, self.Accepted)
         self._commit_sst.write_local(self.node_id, CommitRow(self.Committed, 0))
         self._vote_sst.write_local(self.node_id, Vote(epoch, MsgHdr(epoch, 0)))
+        monitors = self.engine.monitors
+        if monitors is not None:
+            if role is Role.LEADER:
+                monitors.note(self.cluster, "leader", self.node_id,
+                              term=epoch)
+            monitors.note(self.cluster, "accept", self.node_id,
+                          slot=self.Accepted)

@@ -11,8 +11,8 @@ One module per paper artifact:
 
 Cross-cutting plumbing:
 
-- :mod:`repro.harness.runspec` — the :class:`RunSpec` every canonical
-  entry point (and the ``repro`` CLI) consumes;
+- :mod:`repro.harness.runspec` — the :class:`RunSpec` every entry point
+  (and the ``repro`` CLI) consumes;
 - :mod:`repro.harness.parallel` — the process-pool sweep runner every
   driver fans its independent points through;
 - :mod:`repro.harness.hostperf` — wall-clock timing of a fixed
@@ -21,30 +21,32 @@ Cross-cutting plumbing:
   :mod:`repro.shard` scale-out deployment (shard count × key skew).
 
 The benchmarks in ``benchmarks/`` are thin wrappers over these drivers.
+
+Every entry point consumes a :class:`RunSpec`.  The historical keyword
+entry points (``build_system``, ``fig8_point``, ``fig8_sweep``,
+``fig9_point``, ``table1_elections``) are retired: they remain
+importable, but calling one raises a ``TypeError`` that names the
+RunSpec field replacing each keyword.
 """
 
 from repro.harness.factory import SYSTEMS, build_from_spec, build_system, settle
-from repro.harness.fig8 import fig8_sweep, fig8_point, Fig8Point
+from repro.harness.fig8 import Fig8Point, fig8_point, fig8_sweep
+from repro.harness.fig9 import fig9_grid, fig9_point, fig9_ycsb
 from repro.harness.parallel import default_workers, run_points
+from repro.harness.render import render_series, render_table
 from repro.harness.runspec import WORKLOADS, RunSpec
-from repro.harness.table1 import table1_elections, table1_all
-from repro.harness.fig9 import fig9_grid, fig9_ycsb
-from repro.harness.render import render_table, render_series
 from repro.harness.shardsweep import ShardPoint, shard_point, shard_sweep
+from repro.harness.table1 import table1_all, table1_elections
 
 __all__ = [
     "SYSTEMS",
     "WORKLOADS",
     "RunSpec",
     "build_from_spec",
-    "build_system",
     "settle",
-    "fig8_sweep",
-    "fig8_point",
     "Fig8Point",
     "run_points",
     "default_workers",
-    "table1_elections",
     "table1_all",
     "fig9_grid",
     "fig9_ycsb",

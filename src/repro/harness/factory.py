@@ -1,4 +1,9 @@
-"""Build any of the seven evaluated systems by name."""
+"""Build any of the evaluated systems from a RunSpec.
+
+:func:`build_from_spec` is the factory entry point; the retired
+keyword form (``build_system(name, engine, n, ...)``) raises a
+``TypeError`` pointing at the RunSpec fields that replaced it.
+"""
 
 from __future__ import annotations
 
@@ -58,7 +63,16 @@ SETTLE_MS = {
 }
 
 
-def build_system(name: str, engine: Engine, n: int,
+def build_system(*args, **kwargs):
+    """Retired keyword entry point; raises with migration guidance."""
+    raise TypeError(
+        "build_system(name, engine, n, ...) was retired: build a "
+        "RunSpec(system=<name>, n=<n>, ...) and call "
+        "build_from_spec(spec, engine, ...) — the name maps to "
+        "RunSpec.system and the replica count to RunSpec.n")
+
+
+def _build_named(name: str, engine: Engine, n: int,
                  record_deliveries: bool = False,
                  substrate_params: Optional[CostModel] = None,
                  **kwargs) -> BroadcastSystem:
@@ -110,11 +124,13 @@ def build_from_spec(spec, engine: Optional[Engine] = None,
                     substrate_params: Optional[CostModel] = None,
                     **kwargs) -> BroadcastSystem:
     """Instantiate the system a :class:`~repro.harness.runspec.RunSpec`
-    names.  Without an explicit ``engine``, a fresh one is built from the
-    spec (seeded, span recorder attached if ``capture_spans``)."""
+    names — the one factory entry point.  Without an explicit
+    ``engine``, a fresh one is built from the spec (seeded, span
+    recorder attached if ``capture_spans``, monitor registry if
+    ``check_invariants``)."""
     if engine is None:
         engine = spec.make_engine()
-    return build_system(spec.system, engine, spec.n,
+    return _build_named(spec.system, engine, spec.n,
                         record_deliveries=record_deliveries,
                         substrate_params=substrate_params, **kwargs)
 

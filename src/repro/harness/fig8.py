@@ -4,10 +4,10 @@ For each system the driver sweeps the client window over powers of two
 (starting at 1, as in §4.1) and reports one ``(throughput, latency)``
 point per window; the sweep stops once throughput saturates — the knee.
 
-The canonical entry points consume a :class:`~repro.harness.runspec.RunSpec`
-(:func:`point`, :func:`sweep`); the historical keyword signatures
-(:func:`fig8_point`, :func:`fig8_sweep`) survive as thin shims that
-build the spec and forward.
+The entry points consume a :class:`~repro.harness.runspec.RunSpec`
+(:func:`point`, :func:`sweep`); the retired keyword signatures
+(:func:`fig8_point`, :func:`fig8_sweep`) raise a ``TypeError`` naming
+the RunSpec fields that replaced their keywords.
 """
 
 from __future__ import annotations
@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.harness.factory import build_system, settle
+from repro.harness.factory import build_from_spec, settle
 from repro.harness.runspec import RunSpec
 from repro.sim.engine import ms
 from repro.substrate import CostModel
@@ -52,9 +52,12 @@ def point(spec: RunSpec, min_completions: int = 400,
     systems need far more simulated time per message than the RDMA
     ones)."""
     engine = spec.make_engine()
-    system = build_system(spec.system, engine, spec.n,
-                          substrate_params=substrate_params)
+    system = build_from_spec(spec, engine, substrate_params=substrate_params)
     settle(system)
+    if spec.crashes:
+        from repro.sim.failure import schedule_crashes
+
+        schedule_crashes(engine, system.processes(), spec.crashes)
     client = ClosedLoopClient(system, window=spec.window,
                               message_size=spec.payload_bytes,
                               warmup=min(50, 2 * spec.window))
@@ -68,11 +71,14 @@ def point(spec: RunSpec, min_completions: int = 400,
     res = client.result()
     counters = system.substrate_counters()
     backend = system.substrate.backend if system.substrate else ""
+    violations = (engine.monitors.finish()
+                  if engine.monitors is not None else [])
     if collect is not None:
         # Host-cost side channel (Fig8Point itself is frozen: it is the
         # behavioral fingerprint recorded in BENCH_host_perf.json).
         collect["events_executed"] = engine.events_executed
         collect["sim_ns"] = engine.now
+        collect["violations"] = len(violations)
     return Fig8Point(
         system=spec.system,
         n=spec.n,
@@ -88,14 +94,14 @@ def point(spec: RunSpec, min_completions: int = 400,
     )
 
 
-def fig8_point(system_name: str, n: int, message_size: int, window: int,
-               seed: int = 1, min_completions: int = 400,
-               max_sim_ms: float = 400.0,
-               substrate_params: Optional[CostModel] = None) -> Fig8Point:
-    """Deprecated keyword shim for :func:`point`."""
-    spec = RunSpec(system=system_name, n=n, payload_bytes=message_size,
-                   window=window, seed=seed, duration_ms=max_sim_ms)
-    return point(spec, min_completions, substrate_params)
+def fig8_point(*args, **kwargs):
+    """Retired keyword entry point; raises with migration guidance."""
+    raise TypeError(
+        "fig8_point(system_name, n, message_size, window, ...) was "
+        "retired: build a RunSpec (system_name -> RunSpec.system, "
+        "message_size -> RunSpec.payload_bytes, max_sim_ms -> "
+        "RunSpec.duration_ms; n/window/seed keep their names) and call "
+        "fig8.point(spec, min_completions=...)")
 
 
 def sweep(spec: RunSpec, max_window: int = 1024, min_completions: int = 400,
@@ -143,18 +149,14 @@ def sweep(spec: RunSpec, max_window: int = 1024, min_completions: int = 400,
     return points
 
 
-def fig8_sweep(system_name: str, n: int, message_size: int, seed: int = 1,
-               max_window: int = 1024, min_completions: int = 400,
-               saturation_gain: float = 1.08,
-               latency_blowup: float = 12.0,
-               substrate_params: Optional[CostModel] = None,
-               workers: int = 1) -> list[Fig8Point]:
-    """Deprecated keyword shim for :func:`sweep`."""
-    spec = RunSpec(system=system_name, n=n, payload_bytes=message_size,
-                   seed=seed, duration_ms=400.0, workers=max(1, int(workers)))
-    return sweep(spec, max_window=max_window, min_completions=min_completions,
-                 saturation_gain=saturation_gain, latency_blowup=latency_blowup,
-                 substrate_params=substrate_params, workers=workers)
+def fig8_sweep(*args, **kwargs):
+    """Retired keyword entry point; raises with migration guidance."""
+    raise TypeError(
+        "fig8_sweep(system_name, n, message_size, ...) was retired: "
+        "build a RunSpec (system_name -> RunSpec.system, message_size "
+        "-> RunSpec.payload_bytes, workers -> RunSpec.workers; n/seed "
+        "keep their names) and call fig8.sweep(spec, max_window=..., "
+        "min_completions=...)")
 
 
 def knee(points: list[Fig8Point]) -> Fig8Point:

@@ -9,9 +9,9 @@ each system's knee so the number reported is saturated throughput.
 The paper compares the Acuerdo-backed table against ZooKeeper and etcd
 (both effectively in-memory-equivalent deployments of the same state).
 
-The canonical entry point consumes a
-:class:`~repro.harness.runspec.RunSpec` (:func:`point`); the historical
-keyword signature (:func:`fig9_point`) survives as a thin shim.
+The entry point consumes a :class:`~repro.harness.runspec.RunSpec`
+(:func:`point`); the retired keyword signature (:func:`fig9_point`)
+raises a ``TypeError`` naming the RunSpec fields that replaced it.
 """
 
 from __future__ import annotations
@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.apps.hashtable import ReplicatedHashTable
-from repro.harness.factory import build_system, settle
+from repro.harness.factory import build_from_spec, settle
 from repro.harness.runspec import RunSpec
 from repro.sim.engine import ms
 from repro.substrate import CostModel
@@ -62,8 +62,8 @@ def point(spec: RunSpec, min_completions: int = 500,
         cfg = AcuerdoConfig()
         cfg.broadcast_cpu_ns += KV_SERVICE_CPU_NS
         kwargs["config"] = cfg
-    system = build_system(spec.system, engine, spec.n,
-                          substrate_params=substrate_params, **kwargs)
+    system = build_from_spec(spec, engine,
+                             substrate_params=substrate_params, **kwargs)
     settle(system)
     table = ReplicatedHashTable(system)
     value_size = max(1, spec.payload_bytes - 8)
@@ -88,16 +88,23 @@ def point(spec: RunSpec, min_completions: int = 500,
                      completed=res.completed)
 
 
-def fig9_point(system_name: str, n: int, seed: int = 1, window: int = 96,
-               min_completions: int = 500, max_sim_ms: float = 2_000.0,
-               record_count: int = 2_000, value_size: int = 100,
-               substrate_params: Optional[CostModel] = None) -> Fig9Point:
-    """Deprecated keyword shim for :func:`point`."""
-    spec = RunSpec(system=system_name, n=n, payload_bytes=8 + value_size,
-                   window=window, workload="ycsb", duration_ms=max_sim_ms,
+def fig9_point(*args, **kwargs):
+    """Retired keyword entry point; raises with migration guidance."""
+    raise TypeError(
+        "fig9_point(system_name, n, ...) was retired: build a RunSpec "
+        "(system_name -> RunSpec.system, 8 + value_size -> "
+        "RunSpec.payload_bytes, max_sim_ms -> RunSpec.duration_ms, "
+        "workload='ycsb'; n/window/seed keep their names) and call "
+        "fig9.point(spec, min_completions=..., record_count=...)")
+
+
+def grid_spec(system: str, n: int, seed: int = 1, window: int = 96,
+              value_size: int = 100) -> RunSpec:
+    """The RunSpec for one Fig. 9 grid cell (YCSB update stream whose
+    wire size is 8 key bytes + the value)."""
+    return RunSpec(system=system, n=n, payload_bytes=8 + value_size,
+                   window=window, workload="ycsb", duration_ms=2_000.0,
                    seed=seed)
-    return point(spec, min_completions=min_completions,
-                 record_count=record_count, substrate_params=substrate_params)
 
 
 def fig9_grid(sizes=(3, 5, 7, 9), systems=FIG9_SYSTEMS, seed: int = 1,
@@ -106,23 +113,18 @@ def fig9_grid(sizes=(3, 5, 7, 9), systems=FIG9_SYSTEMS, seed: int = 1,
     across ``workers`` processes — in deterministic grid order."""
     from repro.harness.parallel import run_points
 
-    cells = [(name, n, seed, 96, min_completions)
+    cells = [(grid_spec(name, n, seed=seed), min_completions)
              for name in systems for n in sizes]
-    return run_points(fig9_point, cells, workers=workers)
+    return run_points(point, cells, workers=workers)
 
 
 def fig9_ycsb(sizes=(3, 5, 7, 9), systems=FIG9_SYSTEMS, seed: int = 1,
-              workers: int = 1, **kwargs) -> dict[str, dict[int, float]]:
+              workers: int = 1,
+              min_completions: int = 500) -> dict[str, dict[int, float]]:
     """The full Fig. 9 grid: ``{system: {n: ops/sec}}``."""
-    if workers > 1 and not kwargs:
-        pts = fig9_grid(sizes, systems, seed=seed, workers=workers)
-        out: dict[str, dict[int, float]] = {name: {} for name in systems}
-        for p in pts:
-            out[p.system][p.n] = p.ops_per_sec
-        return out
-    out = {}
-    for name in systems:
-        out[name] = {}
-        for n in sizes:
-            out[name][n] = fig9_point(name, n, seed=seed, **kwargs).ops_per_sec
+    pts = fig9_grid(sizes, systems, seed=seed, workers=workers,
+                    min_completions=min_completions)
+    out: dict[str, dict[int, float]] = {name: {} for name in systems}
+    for p in pts:
+        out[p.system][p.n] = p.ops_per_sec
     return out

@@ -8,8 +8,9 @@ backend, under what workload, for how long, from which seed — and every
 harness entry point (:mod:`~repro.harness.fig8`,
 :mod:`~repro.harness.fig9`, :mod:`~repro.harness.table1`,
 :mod:`~repro.harness.hostperf`, ``repro`` CLI, ``repro trace``)
-consumes it.  The old keyword signatures survive as thin deprecated
-shims that construct a ``RunSpec`` and forward.
+consumes it.  The old keyword signatures are retired: calling one
+raises a ``TypeError`` that names the ``RunSpec`` field replacing each
+keyword.
 
 Frozen + hashable + picklable: a spec can key a result cache, travel
 through the :mod:`~repro.harness.parallel` process pool, and be
@@ -52,6 +53,14 @@ class RunSpec:
     users: int = 0
     skew: float = 0.0
     arrival_rate: float = 0.0
+    # Runtime-safety extension (repro.monitors): evaluate the online
+    # safety monitors during the run and surface violations in the
+    # metrics / CLI exit code.
+    check_invariants: bool = False
+    #: Crash schedule: ``"node@ms"`` / ``"group:node@ms"`` entries
+    #: (see :func:`repro.sim.failure.parse_crash`), applied relative to
+    #: workload start by the drivers that support failure injection.
+    crashes: "tuple[str, ...]" = ()
 
     def __post_init__(self) -> None:
         from repro.harness.factory import EXTENSION_SYSTEMS, SUBSTRATE_OF, SYSTEMS
@@ -84,6 +93,14 @@ class RunSpec:
             raise ValueError(f"skew must be in [0, 1), got {self.skew}")
         if self.arrival_rate < 0:
             raise ValueError(f"arrival_rate must be >= 0, got {self.arrival_rate}")
+        # Normalise (lists arrive from from_dict / CLI argparse) and
+        # validate eagerly so a bad entry fails at spec construction,
+        # not mid-run.
+        object.__setattr__(self, "crashes", tuple(self.crashes))
+        from repro.sim.failure import parse_crash
+
+        for entry in self.crashes:
+            parse_crash(entry)
 
     # -------------------------------------------------------------- derived
 
@@ -105,7 +122,9 @@ class RunSpec:
     def make_engine(self) -> Any:
         """A fresh :class:`~repro.sim.engine.Engine` for this run, with a
         :class:`~repro.obs.spans.SpanRecorder` attached as ``engine.obs``
-        when ``capture_spans`` is set."""
+        when ``capture_spans`` is set and a
+        :class:`~repro.monitors.MonitorRegistry` attached as
+        ``engine.monitors`` when ``check_invariants`` is set."""
         from repro.sim.engine import Engine
 
         engine = Engine(seed=self.seed)
@@ -113,6 +132,10 @@ class RunSpec:
             from repro.obs.spans import SpanRecorder
 
             SpanRecorder(engine)
+        if self.check_invariants:
+            from repro.monitors import MonitorRegistry
+
+            MonitorRegistry(engine)
         return engine
 
     # ---------------------------------------------------------------- (de)ser

@@ -59,6 +59,9 @@ class ShardPoint:
     #: fan-outs and arrival batches ride single entries, so this drops
     #: well below ``events_executed`` (they are equal-ish unfused).
     heap_pushes: int = 0
+    #: Safety violations the runtime monitors observed (0 unless the
+    #: spec set ``check_invariants``; always 0 on a healthy farm).
+    violations: int = 0
 
 
 def _percentile(sorted_vals: list[int], pct: float) -> float:
@@ -102,6 +105,10 @@ def shard_point(spec: RunSpec, heartbeat_us: Optional[int] = None) -> ShardPoint
                             n=spec.n,
                             group_config=farm_group_config(spec, heartbeat_us))
     dep.settle()
+    if spec.crashes:
+        from repro.sim.failure import schedule_crashes
+
+        schedule_crashes(engine, dep.processes(), spec.crashes)
     client = aggregate_client(dep, users=spec.users,
                               rate_rps=spec.arrival_rate, skew=spec.skew,
                               message_size=spec.payload_bytes)
@@ -113,6 +120,8 @@ def shard_point(spec: RunSpec, heartbeat_us: Optional[int] = None) -> ShardPoint
     elapsed_s = (engine.now - t_start) / 1e9
     lats = sorted(dep.all_latencies_ns())
     total_sub = dep.total_submitted()
+    violations = (len(engine.monitors.finish())
+                  if engine.monitors is not None else 0)
     return ShardPoint(
         system=spec.system,
         shards=spec.shards,
@@ -131,6 +140,7 @@ def shard_point(spec: RunSpec, heartbeat_us: Optional[int] = None) -> ShardPoint
         hottest_share=max(dep.submitted) / total_sub if total_sub else 0.0,
         events_executed=engine.events_executed,
         heap_pushes=engine.heap_pushes,
+        violations=violations,
     )
 
 

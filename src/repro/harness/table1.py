@@ -19,10 +19,11 @@ nodes stay sub-millisecond; elections that need a long-latency voter
 wait on its response cadence, which is where the growth and the
 7-to-9-node plateau come from.
 
-The canonical entry point consumes a
-:class:`~repro.harness.runspec.RunSpec` (:func:`elections`, an open-loop
-run whose ``duration_ms`` spans ``kills`` kill periods); the historical
-keyword signature (:func:`table1_elections`) survives as a thin shim.
+The entry point consumes a :class:`~repro.harness.runspec.RunSpec`
+(:func:`elections`, an open-loop run whose ``duration_ms`` spans
+``kills`` kill periods); the retired keyword signature
+(:func:`table1_elections`) raises a ``TypeError`` naming the RunSpec
+fields that replaced it.
 """
 
 from __future__ import annotations
@@ -88,18 +89,31 @@ def elections(spec: RunSpec, kills: int = 6,
     engine.run(until=engine.now + ms(2 * kill_period_ms))
     client.stop()
 
+    if engine.monitors is not None:
+        # Election churn is exactly what the safety monitors exist to
+        # audit; a check_invariants spec makes the run self-verifying.
+        engine.monitors.check()
     durations_ns = engine.trace.series("acuerdo.election_duration_ns")
     return [d / 1e6 for d in durations_ns]
 
 
-def table1_elections(n: int, seed: int = 1, kills: int = 6,
-                     kill_period_ms: float = 8.0,
-                     slow_nodes: Optional[int] = None) -> list[float]:
-    """Deprecated keyword shim for :func:`elections`."""
-    spec = RunSpec(system="acuerdo", n=n, payload_bytes=10,
+def table1_elections(*args, **kwargs):
+    """Retired keyword entry point; raises with migration guidance."""
+    raise TypeError(
+        "table1_elections(n, seed, kills, kill_period_ms, ...) was "
+        "retired: build a RunSpec (system='acuerdo', payload_bytes=10, "
+        "workload='openloop', duration_ms=kills * kill_period_ms; "
+        "n/seed keep their names) and call table1.elections(spec, "
+        "kills=..., slow_nodes=...)")
+
+
+def election_spec(n: int, seed: int = 1, kills: int = 6,
+                  kill_period_ms: float = 8.0) -> RunSpec:
+    """The RunSpec for one §4.2 election run: an open-loop 10-byte
+    stream spanning ``kills`` kill periods."""
+    return RunSpec(system="acuerdo", n=n, payload_bytes=10,
                    workload="openloop", duration_ms=kills * kill_period_ms,
                    seed=seed)
-    return elections(spec, kills=kills, slow_nodes=slow_nodes)
 
 
 def table1_all(sizes=(3, 5, 7, 9), seed: int = 1,
@@ -110,8 +124,9 @@ def table1_all(sizes=(3, 5, 7, 9), seed: int = 1,
     them across processes without changing any measured duration."""
     from repro.harness.parallel import run_points
 
-    runs = run_points(table1_elections,
-                      [(n, seed, kills_per_size) for n in sizes],
+    runs = run_points(elections,
+                      [(election_spec(n, seed=seed, kills=kills_per_size),
+                        kills_per_size) for n in sizes],
                       workers=workers)
     return {n: (sum(d) / len(d) if d else float("nan"))
             for n, d in zip(sizes, runs)}

@@ -26,6 +26,9 @@ class CaptureResult:
     recorder: SpanRecorder
     metrics: MetricsRegistry
     result: Any = None            # workload result (ClosedLoopResult) if any
+    #: Safety violations observed by the runtime monitors (populated
+    #: when the spec set ``check_invariants``; empty otherwise).
+    violations: tuple = ()
 
     @property
     def messages(self) -> list[MessageSpan]:
@@ -55,7 +58,7 @@ def capture_run(spec: Any, *, min_completions: Optional[int] = None,
     once that many client completions have been measured; the sim-time
     budget is always ``spec.duration_ms``.
     """
-    from repro.harness.factory import build_system, settle
+    from repro.harness.factory import build_from_spec, settle
     from repro.sim.engine import ms, us
 
     spec = spec.replace(capture_spans=True)
@@ -63,9 +66,12 @@ def capture_run(spec: Any, *, min_completions: Optional[int] = None,
     recorder = engine.obs
     if spec.shards > 1:
         return _capture_sharded(spec, engine, recorder)
-    system = build_system(spec.system, engine, spec.n,
-                          substrate_params=substrate_params)
+    system = build_from_spec(spec, engine, substrate_params=substrate_params)
     settle(system)
+    if spec.crashes:
+        from repro.sim.failure import schedule_crashes
+
+        schedule_crashes(engine, system.processes(), spec.crashes)
 
     result = None
     if spec.workload == "openloop":
@@ -115,8 +121,10 @@ def capture_run(spec: Any, *, min_completions: Optional[int] = None,
     metrics.ingest_engine(engine)
     if getattr(system, "substrate", None) is not None:
         metrics.ingest_substrate(system.substrate)
+    violations = (tuple(engine.monitors.finish(metrics))
+                  if engine.monitors is not None else ())
     return CaptureResult(spec=spec, recorder=recorder, metrics=metrics,
-                        result=result)
+                        result=result, violations=violations)
 
 
 def _capture_sharded(spec: Any, engine: Any, recorder: SpanRecorder) -> CaptureResult:
@@ -135,6 +143,10 @@ def _capture_sharded(spec: Any, engine: Any, recorder: SpanRecorder) -> CaptureR
     dep = ShardedDeployment(engine, system=spec.system, shards=spec.shards,
                             n=spec.n, group_config=farm_group_config(spec))
     dep.settle()
+    if spec.crashes:
+        from repro.sim.failure import schedule_crashes
+
+        schedule_crashes(engine, dep.processes(), spec.crashes)
     users = spec.users if spec.users >= 1 else 10_000
     rate = spec.arrival_rate if spec.arrival_rate > 0 else 100_000.0
     client = aggregate_client(dep, users=users, rate_rps=rate,
@@ -149,5 +161,7 @@ def _capture_sharded(spec: Any, engine: Any, recorder: SpanRecorder) -> CaptureR
     metrics.ingest_tracer(engine.trace)
     metrics.ingest_engine(engine)
     dep.metrics(metrics)
+    violations = (tuple(engine.monitors.finish(metrics))
+                  if engine.monitors is not None else ())
     return CaptureResult(spec=spec, recorder=recorder, metrics=metrics,
-                         result=None)
+                         result=None, violations=violations)

@@ -218,6 +218,12 @@ class SpanRecorder:
         if self.tracer is not None:
             self.tracer.count("obs.messages_traced")
             self.tracer.sample("obs.delivery_latency_ns", end - t0)
+        if self.engine is not None:
+            monitors = self.engine.monitors
+            if monitors is not None:
+                # Online monitors subscribe to the finished-span stream
+                # (routed per shard by the span label).
+                monitors.on_span(span)
         return span
 
     def discard(self, payload: Any) -> None:

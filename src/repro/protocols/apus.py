@@ -152,6 +152,11 @@ class ApusNode(Process):
                     obs.mark(payload, "propose", self.engine.now)
             end = len(self.log)
             self.batch_in_flight = (start, end)
+            monitors = self.engine.monitors
+            if monitors is not None:
+                # The leader's own log append counts toward the batch's
+                # quorum (the "acked = 1  # self" below).
+                monitors.note(self.cluster, "accept", self.node_id, slot=end)
             batch = tuple(entries)
             if obs is not None:
                 # The batch tuple is the wire carrier; substrate marks
@@ -186,6 +191,11 @@ class ApusNode(Process):
                 continue
             if term > self.term:
                 self.term = term
+            monitors = self.engine.monitors
+            if monitors is not None and start < len(self.log):
+                # A new leader's first batch overwrites the stale tail.
+                monitors.note(self.cluster, "accept_trunc", self.node_id,
+                              slot=start)
             # Exclusive leader access: writes land at the stated offset.
             del self.log[start:]
             for payload, size in entries:
@@ -193,6 +203,11 @@ class ApusNode(Process):
                 self._charge(self.cfg.accept_cpu_ns)
                 if obs is not None:
                     obs.mark(payload, "accept", self.engine.now)
+            if monitors is not None:
+                # Accept at the CPU drain: APUS leaders count periodic
+                # acks derived from this frontier, not NIC completions.
+                monitors.note(self.cluster, "accept", self.node_id,
+                              slot=len(self.log))
             progressed = True
         row = c.commit_sst.read(self.node_id, c.leader)
         if row is not None:
@@ -215,9 +230,12 @@ class ApusNode(Process):
     def _deliver(self) -> None:
         limit = self.commit_index if self.is_leader else self.seen_commit
         obs = self.engine.obs
+        monitors = self.engine.monitors
         while self.cluster.delivered.get(self.node_id, 0) < limit:
             i = self.cluster.delivered.get(self.node_id, 0)
             payload, _size = self.log[i]
+            if monitors is not None:
+                monitors.note(self.cluster, "commit", self.node_id, slot=i + 1)
             if obs is not None:
                 obs.mark(payload, "commit", self.engine.now)
             self.cluster.record_delivery(self.node_id, payload)
@@ -267,6 +285,10 @@ class ApusCluster(BroadcastSystem):
         self._failover_scheduled = False
 
     def start(self) -> None:
+        monitors = self.engine.monitors
+        if monitors is not None:
+            monitors.note(self, "leader", self.leader,
+                          term=self.nodes[self.leader].term)
         for nd in self.nodes.values():
             nd.start()
         self.engine.schedule(self.cfg.heartbeat_timeout_ns, self._watchdog)
@@ -291,6 +313,12 @@ class ApusCluster(BroadcastSystem):
                 nd.commit_index = max(nd.commit_index, self.nodes[donor].seen_commit)
                 nd._charge(self.cfg.state_transfer_ns_per_entry * max(1, len(transfer)))
                 nd.is_leader = True
+                monitors = self.engine.monitors
+                if monitors is not None:
+                    monitors.note(self, "leader", new, term=nd.term)
+                    # The adopted donor log raises the new leader's
+                    # accepted frontier before it serves.
+                    monitors.note(self, "accept", new, slot=len(nd.log))
                 nd.pending.extend(old_node.pending)
                 old_node.pending = []
                 nd.batch_in_flight = None

@@ -101,6 +101,11 @@ class BroadcastSystem(abc.ABC):
         #: callbacks ``(node_id, payload)`` invoked on every app-level
         #: delivery — the hook state-machine replication builds on.
         self.delivery_listeners: list[Callable[[int, Any], None]] = []
+        monitors = engine.monitors
+        if monitors is not None:
+            # Online safety monitors: each consensus group gets its own
+            # monitor instances (per-shard for free under engine.scoped).
+            monitors.register_group(self)
 
     # ------------------------------------------------------------- lifecycle
 
@@ -144,6 +149,11 @@ class BroadcastSystem(abc.ABC):
             # First app-level delivery closes the payload's span (later
             # replicas' deliveries find no open record and are no-ops).
             obs.finish(payload, self.engine.now)
+        monitors = self.engine.monitors
+        if monitors is not None:
+            # Normalized deliver event: LogPrefixAgreement checks every
+            # backend's total order through this one hook.
+            monitors.note(self, "deliver", node_id, key=payload)
         for listener in self.delivery_listeners:
             listener(node_id, payload)
 

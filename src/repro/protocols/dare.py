@@ -154,6 +154,9 @@ class DareNode(Process):
     def become_leader(self, term: int) -> None:
         self.is_leader = True
         self.term = term
+        monitors = self.engine.monitors
+        if monitors is not None:
+            monitors.note(self.cluster, "leader", self.node_id, term=term)
         peers = [p for p in self.cluster.node_ids if p != self.node_id]
         self._chain_next = {p: min(self._acked.get(p, 0), len(self.log)) for p in peers}
         self._chain_phase = {}
@@ -162,6 +165,7 @@ class DareNode(Process):
 
     def _advance_chains(self) -> None:
         obs = self.engine.obs
+        monitors = self.engine.monitors
         # Pull pending client payloads into the local log first.
         while self.pending:
             payload, size, cb = self.pending.pop(0)
@@ -169,6 +173,11 @@ class DareNode(Process):
                 self._cbs[len(self.log)] = cb
             self.log.append((payload, size))
             self._charge(self.cfg.entry_cpu_ns)
+            if monitors is not None:
+                # The leader's local append counts toward the quorum
+                # (the len(self.log) term in _advance_commit).
+                monitors.note(self.cluster, "accept", self.node_id,
+                              slot=len(self.log))
             if obs is not None:
                 obs.mark(payload, "propose", self.engine.now)
         # Per-follower chains: entry write -> completion -> valid write
@@ -264,8 +273,12 @@ class DareNode(Process):
         limit = self.commit_index if self.is_leader else self.seen_commit
         delivered = self.cluster.delivered.setdefault(self.node_id, 0)
         obs = self.engine.obs
+        monitors = self.engine.monitors
         while delivered < limit:
             payload, _size = self.log[delivered]
+            if monitors is not None:
+                monitors.note(self.cluster, "commit", self.node_id,
+                              slot=delivered + 1)
             if payload is not None:
                 if obs is not None:
                     obs.mark(payload, "commit", self.engine.now)
@@ -304,7 +317,7 @@ class DareCluster(BroadcastSystem):
         for i in self.node_ids:
             region = self.fabric.register(
                 i, f"dare.log.{i}", 1 << 22,
-                on_write=lambda key, value, size, i=i: self.log_inboxes[i].append((key, value)))
+                on_write=lambda key, value, size, i=i: self._log_deposit(i, key, value))
             self.log_regions[i] = (region, region.grant())
         self.commit_sst = SharedStateTable(self.fabric, "dare.commit", self.node_ids,
                                            row_size_bytes=24, initial=None)
@@ -317,6 +330,16 @@ class DareCluster(BroadcastSystem):
         self._election_term = 0
         self._round_votes: dict[int, int] = {}   # term -> votes for candidate
         self._round_voted: dict[int, set] = {}   # term -> acceptors that voted
+
+    def _log_deposit(self, i: int, key: Any, value: Any) -> None:
+        self.log_inboxes[i].append((key, value))
+        if key[0] == "valid":
+            monitors = self.engine.monitors
+            if monitors is not None:
+                # The entry became durable-and-valid at node i; the
+                # leader's commit counts the completion of exactly this
+                # write, ahead of any follower CPU drain.
+                monitors.note(self, "accept", i, slot=key[2] + 1)
 
     def start(self) -> None:
         self.nodes[0].become_leader(term=1)

@@ -153,6 +153,8 @@ class DerechoNode(Process):
         # ring markers waiting for their bulk to arrive.
         self._bulk: dict[tuple, tuple[Any, int]] = {}   # (view,sender,rnd) -> (payload,size)
         self._pending_markers: dict[int, list[tuple[int, int, int]]] = {}
+        self._mon_claimed_view = -1   # last view announced to monitors
+        self._mon_floor = 0           # ring floor last announced to monitors
 
     # ------------------------------------------------------------- SST helpers
 
@@ -250,6 +252,15 @@ class DerechoNode(Process):
         ring = self.cluster.rings[self.node_id]
         budget = self.cfg.max_broadcasts_per_poll
         obs = self.engine.obs
+        monitors = self.engine.monitors
+        if (monitors is not None and self.cfg.mode == "leader"
+                and self.view > self._mon_claimed_view):
+            # Leader mode has exactly one sender per view; claiming the
+            # view as a term lets SingleLeaderPerTerm catch split views.
+            self._mon_claimed_view = self.view
+            monitors.note(self.cluster, "leader", self.node_id, term=self.view)
+        k = len(self.senders)
+        my_idx = self.senders.index(self.node_id)
         while self.pending_client and budget > 0:
             budget -= 1
             payload, size, cb = self.pending_client[0]
@@ -279,6 +290,12 @@ class DerechoNode(Process):
                                     earliest_ns=self.cpu.busy_until)
             self.pending_client.pop(0)
             self._round_seq[self.sent_rounds] = seq
+            if monitors is not None:
+                # Global round-robin index; views restart it, so the
+                # monitor slot is the (view, index) pair.
+                monitors.note(self.cluster, "slot_bind", self.node_id,
+                              slot=(self.view, self.sent_rounds * k + my_idx),
+                              key=payload, seq=seq, extra=ring.capacity)
             if cb is not None:
                 self._cbs[self.sent_rounds] = cb
             self.sent_rounds += 1
@@ -292,6 +309,10 @@ class DerechoNode(Process):
                 if seq is None:
                     return
                 self._round_seq[self.sent_rounds] = seq
+                if monitors is not None:
+                    # Null filler: slot=None, no reuse-safety obligation.
+                    monitors.note(self.cluster, "slot_bind", self.node_id,
+                                  seq=seq, extra=ring.capacity)
                 self.sent_rounds += 1
                 self.engine.trace.count("derecho.null_send")
 
@@ -375,6 +396,12 @@ class DerechoNode(Process):
             obs = self.engine.obs
             if obs is not None:
                 obs.mark(payload, "accept", self.engine.now)
+            monitors = self.engine.monitors
+            if monitors is not None:
+                monitors.note(
+                    self.cluster, "accept_one", self.node_id,
+                    slot=(view, rnd * len(self.senders) + self.senders.index(sender)),
+                    key=payload)
             self._push_received()
 
     # ---------------------------------------------------------------- receive
@@ -382,7 +409,9 @@ class DerechoNode(Process):
     def _drain_rings(self) -> bool:
         got = False
         obs = self.engine.obs
-        for s in self.senders:
+        monitors = self.engine.monitors
+        k = len(self.senders)
+        for si, s in enumerate(self.senders):
             ring = self.cluster.rings.get(s)
             if ring is None or self.node_id not in ring._receivers:
                 continue
@@ -402,8 +431,12 @@ class DerechoNode(Process):
                     continue
                 self._store_put(s, rnd, payload)
                 self._charge(self.cfg.accept_cpu_ns)
-                if obs is not None and payload is not NULL:
-                    obs.mark(payload, "accept", self.engine.now)
+                if payload is not NULL:
+                    if obs is not None:
+                        obs.mark(payload, "accept", self.engine.now)
+                    if monitors is not None:
+                        monitors.note(self.cluster, "accept_one", self.node_id,
+                                      slot=(view, rnd * k + si), key=payload)
                 got = True
         if got:
             self._push_received()
@@ -455,6 +488,7 @@ class DerechoNode(Process):
         k = len(self.senders)
         progressed = False
         obs = self.engine.obs
+        monitors = self.engine.monitors
         while True:
             g = self.delivered_upto
             s = self.senders[g % k]
@@ -472,6 +506,9 @@ class DerechoNode(Process):
             if payload is not NULL and payload is not None:
                 if obs is not None:
                     obs.mark(payload, "commit", self.engine.now)
+                if monitors is not None:
+                    monitors.note(self.cluster, "commit", self.node_id,
+                                  slot=(self.view, g), key=payload)
                 self.cluster.record_delivery(self.node_id, payload)
             if s == self.node_id:
                 cb = self._cbs.pop(rnd, None)
@@ -501,6 +538,13 @@ class DerechoNode(Process):
                 ring = self.cluster.rings[self.node_id]
                 for m in self.members:
                     ring.mark_released(m, seq + 1)
+                monitors = self.engine.monitors
+                if monitors is not None:
+                    floor = ring.released_floor()
+                    if floor > self._mon_floor:
+                        self._mon_floor = floor
+                        monitors.note(self.cluster, "slot_release",
+                                      self.node_id, seq=floor)
 
     # ------------------------------------------------------------ view change
 

@@ -130,18 +130,27 @@ class MuNode(Process):
     def become_leader(self, term: int) -> None:
         self.is_leader = True
         self.term = term
+        monitors = self.engine.monitors
+        if monitors is not None:
+            monitors.note(self.cluster, "leader", self.node_id, term=term)
         peers = [p for p in self.cluster.node_ids if p != self.node_id]
         self._next_write = {p: len(self.log) for p in peers}
         self._acks = {}
 
     def _replicate(self) -> None:
         obs = self.engine.obs
+        monitors = self.engine.monitors
         while self.pending:
             payload, size, cb = self.pending.pop(0)
             if cb is not None:
                 self._cbs[len(self.log)] = cb
             self.log.append((payload, size))
             self._charge(self.cfg.entry_cpu_ns)
+            if monitors is not None:
+                # The leader's local append is its own acceptance (the
+                # "+ 1" in the quorum count below).
+                monitors.note(self.cluster, "accept", self.node_id,
+                              slot=len(self.log))
             if obs is not None:
                 obs.mark(payload, "propose", self.engine.now)
         for p, nxt in self._next_write.items():
@@ -212,8 +221,12 @@ class MuNode(Process):
         limit = self.commit_index if self.is_leader else self.seen_commit
         delivered = self.cluster.delivered.setdefault(self.node_id, 0)
         obs = self.engine.obs
+        monitors = self.engine.monitors
         while delivered < limit:
             payload, _size = self.log[delivered]
+            if monitors is not None:
+                monitors.note(self.cluster, "commit", self.node_id,
+                              slot=delivered + 1)
             if payload is not None:
                 if obs is not None:
                     obs.mark(payload, "commit", self.engine.now)
@@ -259,8 +272,18 @@ class MuCluster(BroadcastSystem):
     def _register_log(self, i: int) -> None:
         region = self.fabric.register(
             i, f"mu.log.{i}", 1 << 22,
-            on_write=lambda key, value, size, i=i: self.log_inboxes[i].append((key, value)))
+            on_write=lambda key, value, size, i=i: self._log_deposit(i, key, value))
         self.log_regions[i] = (region, region.grant())
+
+    def _log_deposit(self, i: int, key: Any, value: Any) -> None:
+        self.log_inboxes[i].append((key, value))
+        monitors = self.engine.monitors
+        if monitors is not None:
+            # Completion-as-acknowledgment: the leader treats the NIC
+            # completion of this deposit as node i's acceptance, so the
+            # accept event belongs here — the follower's CPU drain can
+            # run after the leader has already committed.
+            monitors.note(self, "accept", i, slot=key[1] + 1)
 
     def start(self) -> None:
         self.nodes[0].become_leader(term=1)

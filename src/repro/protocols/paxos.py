@@ -163,6 +163,12 @@ class PaxosNode(Process):
         self.is_proposer = True
         self.preparing = True
         self.ballot += len(self.cluster.node_ids)
+        monitors = self.engine.monitors
+        if monitors is not None:
+            # Ballot spaces are disjoint per node by construction; the
+            # claim event still feeds the single-leader monitor.
+            monitors.note(self.cluster, "leader", self.node_id,
+                          term=self.ballot)
         self.next_iid = self.next_deliver
         self._prepare_promises = {}
         self._charge(self.cfg.prepare_cpu_ns)
@@ -179,6 +185,12 @@ class PaxosNode(Process):
                 self.promised[iid] = ballot
                 self.accepted[iid] = (ballot, payload, size)
                 self._charge(self.cfg.accept_cpu_ns)
+                monitors = self.engine.monitors
+                if monitors is not None:
+                    # Per-instance accept with value identity: only
+                    # same-value accepts may justify the commit.
+                    monitors.note(self.cluster, "accept_one", self.node_id,
+                                  slot=iid, key=payload)
                 obs = self.engine.obs
                 if obs is not None:
                     obs.mark(msg, "accept", self.engine.now)
@@ -236,8 +248,12 @@ class PaxosNode(Process):
 
     def _deliver_ready(self) -> None:
         obs = self.engine.obs
+        monitors = self.engine.monitors
         while self.next_deliver in self.chosen:
             payload, _size = self.chosen[self.next_deliver]
+            if monitors is not None:
+                monitors.note(self.cluster, "commit", self.node_id,
+                              slot=self.next_deliver, key=payload)
             if obs is not None:
                 obs.mark(payload, "commit", self.engine.now)
             self.cluster.record_delivery(self.node_id, payload)
@@ -266,6 +282,10 @@ class PaxosCluster(BroadcastSystem):
                                             for i in self.node_ids}
 
     def start(self) -> None:
+        monitors = self.engine.monitors
+        if monitors is not None:
+            # Node 0 is the initial distinguished proposer at ballot 1.
+            monitors.note(self, "leader", 0, term=self.nodes[0].ballot)
         for nd in self.nodes.values():
             nd.start()
 

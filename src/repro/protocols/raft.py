@@ -141,6 +141,9 @@ class RaftNode(Process):
 
     def _become_leader(self) -> None:
         self.state = self.LEADER
+        monitors = self.engine.monitors
+        if monitors is not None:
+            monitors.note(self.cluster, "leader", self.node_id, term=self.term)
         n = len(self.log)
         self.next_index = {p: n for p in self.cluster.node_ids if p != self.node_id}
         self.match_index = {p: 0 for p in self.cluster.node_ids if p != self.node_id}
@@ -181,7 +184,14 @@ class RaftNode(Process):
     def _on_durable(self, upto: int) -> None:
         # Only what was in the log when the sync started is durable; a
         # sync must not vouch for entries appended while it ran.
-        self.durable_len = max(self.durable_len, min(upto, len(self.log)))
+        prev = self.durable_len
+        self.durable_len = max(prev, min(upto, len(self.log)))
+        if self.durable_len > prev:
+            monitors = self.engine.monitors
+            if monitors is not None:
+                # Durable frontier = cumulative accept (1-based count).
+                monitors.note(self.cluster, "accept", self.node_id,
+                              slot=self.durable_len)
         self._advance_commit()
 
     def _replicate(self, force: bool) -> None:
@@ -214,8 +224,12 @@ class RaftNode(Process):
 
     def _apply(self) -> None:
         obs = self.engine.obs
+        monitors = self.engine.monitors
         while self.applied < self.commit_index:
             term, payload, _sz = self.log[self.applied]
+            if monitors is not None:
+                monitors.note(self.cluster, "commit", self.node_id,
+                              slot=self.applied + 1)
             if payload is not None:
                 if obs is not None:
                     obs.mark(payload, "commit", self.engine.now)
@@ -227,7 +241,13 @@ class RaftNode(Process):
             self.engine.trace.count("raft.apply")
 
     def _follower_durable(self, upto: int, leader: int) -> None:
-        self.durable_len = max(self.durable_len, min(upto, len(self.log)))
+        prev = self.durable_len
+        self.durable_len = max(prev, min(upto, len(self.log)))
+        if self.durable_len > prev:
+            monitors = self.engine.monitors
+            if monitors is not None:
+                monitors.note(self.cluster, "accept", self.node_id,
+                              slot=self.durable_len)
         self._send(leader, ("APPEND_REP", self.term, True, self.durable_len), 16)
 
     # -------------------------------------------------------------- messages
@@ -270,7 +290,14 @@ class RaftNode(Process):
             if entries:
                 del self.log[ni:]
                 self.log.extend(entries)
-                self.durable_len = min(self.durable_len, ni)
+                if self.durable_len > ni:
+                    # Conflicting suffix replaced: the durable frontier
+                    # falls back to the append point.
+                    self.durable_len = ni
+                    monitors = self.engine.monitors
+                    if monitors is not None:
+                        monitors.note(self.cluster, "accept_trunc",
+                                      self.node_id, slot=ni)
                 self._charge(self.cfg.append_cpu_ns * len(entries))
                 obs = self.engine.obs
                 if obs is not None:

@@ -215,6 +215,11 @@ class ZabNode(Process):
             self.engine.trace.count("zab.propose")
 
     def _on_self_durable(self, zxid: tuple) -> None:
+        monitors = self.engine.monitors
+        if monitors is not None:
+            # Durable zxid frontier = cumulative accept (FIFO disk, so
+            # these arrive in zxid order).
+            monitors.note(self.cluster, "accept", self.node_id, slot=zxid)
         self._note_ack(zxid, self.node_id)
 
     def _note_ack(self, zxid: tuple, voter: int) -> None:
@@ -240,13 +245,22 @@ class ZabNode(Process):
             self._bcast(("COMMIT", zxid), 16)
             self._deliver_upto(zxid)
 
+    def _follower_durable(self, zxid: tuple, leader: int) -> None:
+        monitors = self.engine.monitors
+        if monitors is not None:
+            monitors.note(self.cluster, "accept", self.node_id, slot=zxid)
+        self._send(leader, ("ACK", zxid), 16)
+
     def _deliver_upto(self, zxid: tuple) -> None:
         obs = self.engine.obs
+        monitors = self.engine.monitors
         while self.delivered_upto < len(self.log):
             z, payload, _sz = self.log[self.delivered_upto]
             if z > zxid:
                 break
             self.delivered_upto += 1
+            if monitors is not None:
+                monitors.note(self.cluster, "commit", self.node_id, slot=z)
             if obs is not None:
                 obs.mark(payload, "commit", self.engine.now)
             self.cluster.record_delivery(self.node_id, payload)
@@ -282,7 +296,7 @@ class ZabNode(Process):
                 if obs is not None:
                     obs.mark(msg, "accept", self.engine.now)
                 self.disk.append(lambda zxid=zxid, src=src:
-                                 self._send(src, ("ACK", zxid), 16))
+                                 self._follower_durable(zxid, src))
         elif kind == "ACK":
             self._note_ack(msg[1], src)
         elif kind == "COMMIT" and self.state == self.FOLLOWING:
@@ -319,8 +333,19 @@ class ZabNode(Process):
             if epoch >= self.epoch:
                 self.epoch = epoch
                 self.leader = leader
+                prev_frontier = self.last_zxid()
                 self.log = list(log)
                 self.delivered_upto = min(self.delivered_upto, len(self.log))
+                monitors = self.engine.monitors
+                if monitors is not None:
+                    # State transfer installs the leader's whole log:
+                    # the accepted frontier jumps to its last zxid (a
+                    # truncation when the old suffix was longer).
+                    frontier = self.last_zxid()
+                    kind = ("accept" if frontier >= prev_frontier
+                            else "accept_trunc")
+                    monitors.note(self.cluster, kind, self.node_id,
+                                  slot=frontier)
                 self.state = self.FOLLOWING
                 self._last_hb_seen = self.engine.now
                 self._send(leader, ("SYNC_ACK", epoch), 8)
@@ -334,6 +359,12 @@ class ZabNode(Process):
                 # old-epoch suffix would block every new-epoch commit.
                 if self.log:
                     self.committed_zxid = self.last_zxid()
+                    monitors = self.engine.monitors
+                    if monitors is not None:
+                        # The leader's own copy of the synced log counts
+                        # toward the quorum that stores the prefix.
+                        monitors.note(self.cluster, "accept", self.node_id,
+                                      slot=self.committed_zxid)
                     self._bcast(("COMMIT", self.committed_zxid), 16)
                     self._deliver_upto(self.committed_zxid)
                 self.engine.trace.count("zab.broadcast_open")
@@ -407,6 +438,11 @@ class ZabNode(Process):
             return
         self.epoch = max(self.epoch, mine[0]) + 1
         self.counter = 0
+        monitors = self.engine.monitors
+        if monitors is not None:
+            # The verified winner exclusively owns the new epoch.
+            monitors.note(self.cluster, "leader", self.node_id,
+                          term=self.epoch)
         self._phase = "sync"
         self._sync_acks = set()
         # State transfer: ship the full uncommitted suffix (coarse DIFF).

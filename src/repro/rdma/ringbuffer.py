@@ -138,6 +138,23 @@ class RingBuffer:
         self._receivers: dict[int, RingReceiver] = {}
         self._regions: dict[int, tuple[Any, int]] = {}
         self._released: dict[int, int] = {}
+        # Bumped whenever the release accounting changes; lets per-poll
+        # observers (the slot_release monitor hook) skip the floor min()
+        # when nothing moved.
+        self.release_gen = 0
+        # Bumped only by membership changes (evict / re-admit / drop).
+        # A floor advance while this moved is *administrative* — epoch
+        # or view bookkeeping re-baselining a receiver — not the
+        # accept-driven release policy, and monitor observers tag the
+        # release accordingly.
+        self.admin_gen = 0
+        # Receivers whose current released value is an administrative
+        # baseline (set by include_in_accounting) rather than the
+        # product of observed accepts; cleared the moment a real
+        # mark_released overtakes the baseline.  A floor supported by
+        # fewer than a quorum of accept-driven values is escape-hatch
+        # territory, not the §4.1 release rule.
+        self._admin_baseline: set[int] = set()
         self._since_signal: dict[int, int] = {}
         # Hot-path cache: (region, rkey, qp) per remote receiver so
         # try_send posts straight to the QP when no partition is active
@@ -180,6 +197,22 @@ class RingBuffer:
         """Slots available under the most conservative receiver."""
         min_released = min(self._released.values()) if self._released else 0
         return self.capacity - (self.next_seq - min_released)
+
+    @property
+    def accounted(self) -> int:
+        """Receivers currently participating in slot accounting."""
+        return len(self._released)
+
+    @property
+    def accept_accounted(self) -> int:
+        """Accounted receivers whose released value is accept-driven
+        (not an administrative re-admission baseline)."""
+        return len(self._released) - len(self._admin_baseline)
+
+    def released_floor(self) -> int:
+        """Lowest released frontier across accounted receivers — the
+        ring only ever reuses slots strictly below this sequence."""
+        return min(self._released.values()) if self._released else self.next_seq
 
     def try_send(self, payload: Any, size_bytes: int,
                  targets: Optional[Iterable[int]] = None,
@@ -256,6 +289,8 @@ class RingBuffer:
         driven by acceptance state; under ON_COMMIT by commit state."""
         if upto_seq > self._released.get(receiver, 0):
             self._released[receiver] = min(upto_seq, self.next_seq)
+            self._admin_baseline.discard(receiver)
+            self.release_gen += 1
 
     def exclude_from_accounting(self, receiver: int) -> None:
         """Stop a lagging/suspected-dead receiver from wedging slot
@@ -269,12 +304,18 @@ class RingBuffer:
         which is optimistic only in that never-exercised corner (see
         DESIGN.md)."""
         self._released.pop(receiver, None)
+        self._admin_baseline.discard(receiver)
+        self.release_gen += 1
+        self.admin_gen += 1
 
     def include_in_accounting(self, receiver: int, released_upto: int) -> None:
         """Re-admit a receiver to slot accounting (start of a new epoch,
         after its diff made earlier slots irrelevant)."""
         if receiver in self._receivers:
             self._released[receiver] = min(max(released_upto, 0), self.next_seq)
+            self._admin_baseline.add(receiver)
+            self.release_gen += 1
+            self.admin_gen += 1
 
     def drop_receiver(self, receiver: int) -> None:
         """Remove a receiver entirely: no more mirroring, no accounting.
@@ -282,6 +323,9 @@ class RingBuffer:
         the node out; quorum protocols use :meth:`exclude_from_accounting`
         instead."""
         self._released.pop(receiver, None)
+        self._admin_baseline.discard(receiver)
+        self.release_gen += 1
+        self.admin_gen += 1
         self._since_signal.pop(receiver, None)
         self._receivers.pop(receiver, None)
         self._regions.pop(receiver, None)

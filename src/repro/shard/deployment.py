@@ -13,9 +13,9 @@ Two determinism properties hold by construction:
 
 - **1-shard transparency** — with ``shards=1`` no scope is entered, the
   single group is built exactly as :func:`~repro.harness.factory.
-  build_system` builds it standalone, and routing adds only host-side
-  bookkeeping; the trace fingerprint is bit-identical to the equivalent
-  plain run (property-tested for acuerdo/raft/zab).
+  build_from_spec` builds it standalone, and routing adds only
+  host-side bookkeeping; the trace fingerprint is bit-identical to the
+  equivalent plain run (property-tested for acuerdo/raft/zab).
 - **stable placement** — the router's key hash is independent of
   ``PYTHONHASHSEED`` and of the worker process, so sweeps fanned over
   ``REPRO_WORKERS`` route identically to sequential runs.
@@ -64,7 +64,8 @@ class ShardedDeployment:
                  n: int = 3, record_deliveries: bool = False,
                  key_of: Optional[Callable[[Any], Any]] = None,
                  group_config: "dict | Callable[[int], dict] | None" = None):
-        from repro.harness.factory import build_system
+        from repro.harness.factory import build_from_spec
+        from repro.harness.runspec import RunSpec
 
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
@@ -75,6 +76,7 @@ class ShardedDeployment:
         self.router = ShardRouter(shards)
         self.key_of = key_of or default_key_of
         self.groups: list[BroadcastSystem] = []
+        group_spec = RunSpec(system=system, n=n)
         for g in range(shards):
             kwargs = (group_config(g) if callable(group_config)
                       else dict(group_config or {}))
@@ -83,8 +85,9 @@ class ShardedDeployment:
             scope = engine.scoped(g) if shards > 1 else nullcontext()
             with scope:
                 self.groups.append(
-                    build_system(system, engine, n,
-                                 record_deliveries=record_deliveries, **kwargs))
+                    build_from_spec(group_spec, engine,
+                                    record_deliveries=record_deliveries,
+                                    **kwargs))
         # Per-shard aggregation (host-side only; no engine events).
         self.submitted = [0] * shards
         self.committed = [0] * shards

@@ -278,6 +278,12 @@ class Engine:
         #: not execute a single extra tracer/RNG operation — the
         #: zero-cost-when-off guarantee the golden fingerprints pin.
         self.obs: Optional[Any] = None
+        #: runtime-invariant attachment point: a
+        #: :class:`~repro.monitors.MonitorRegistry` (or None).  Same
+        #: contract as :attr:`obs` — every protocol emission site is
+        #: gated by ``engine.monitors is not None``, so runs without
+        #: monitors execute no monitor code at all.
+        self.monitors: Optional[Any] = None
 
     # ---------------------------------------------------------------- scope
 

@@ -14,15 +14,74 @@ Supports the failure classes the paper's evaluation exercises:
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, Union
+from typing import Callable, Iterable, Optional, Sequence, Union
 
-from repro.sim.engine import Engine
+from repro.sim.engine import Engine, ms
 from repro.sim.process import Process
 
 #: Ways to name a process: the Process itself, a plain node id (int,
-#: unambiguous only while one group owns the id), or a hierarchical
-#: ``(group, node_id)`` address for sharded deployments.
-Addr = Union[Process, int, "tuple[int, int]"]
+#: unambiguous only while one group owns the id), a hierarchical
+#: ``(group, node_id)`` address for sharded deployments, or the string
+#: spellings of those two (``"1"`` / ``"3:1"``) accepted everywhere an
+#: address crosses a text boundary (CLI flags, RunSpec crash schedules).
+Addr = Union[Process, int, "tuple[int, int]", str]
+
+
+def parse_addr(text: "Addr") -> "int | tuple[int, int]":
+    """The one address parser: ``"1"`` -> ``1``, ``"3:1"`` -> ``(3, 1)``.
+
+    Already-parsed forms (ints, ``(group, node)`` tuples) pass through,
+    so every helper that accepts an :data:`Addr` can normalise through
+    this without caring how the caller spelled it.
+    """
+    if isinstance(text, int):
+        return text
+    if isinstance(text, tuple):
+        if len(text) == 2 and all(isinstance(x, int) for x in text):
+            return text
+        raise ValueError(f"tuple address must be (group, node_id), got {text!r}")
+    if isinstance(text, str):
+        parts = text.split(":")
+        try:
+            if len(parts) == 1:
+                return int(parts[0])
+            if len(parts) == 2:
+                return (int(parts[0]), int(parts[1]))
+        except ValueError:
+            pass
+    raise ValueError(
+        f"cannot parse address {text!r}; use 'node' or 'group:node' "
+        f"(e.g. '1' or '3:1')")
+
+
+def format_addr(addr: "Addr") -> str:
+    """Inverse of :func:`parse_addr`: ``1`` -> ``"1"``, ``(3, 1)`` ->
+    ``"3:1"``.  Processes format via their own :attr:`addr`."""
+    if isinstance(addr, Process):
+        addr = addr.addr
+    addr = parse_addr(addr)
+    if isinstance(addr, tuple):
+        return f"{addr[0]}:{addr[1]}"
+    return str(addr)
+
+
+def parse_crash(text: str) -> "tuple[int | tuple[int, int], float]":
+    """Parse one crash-schedule entry ``"<addr>@<ms>"`` into
+    ``(address, time_ms)`` — e.g. ``"0@5"`` (node 0 at 5 ms) or
+    ``"3:1@2.5"`` (group 3's node 1 at 2.5 ms)."""
+    addr_part, sep, when = text.partition("@")
+    if not sep:
+        raise ValueError(
+            f"cannot parse crash {text!r}; use 'node@ms' or "
+            f"'group:node@ms' (e.g. '0@5' or '3:1@2.5')")
+    try:
+        at_ms = float(when)
+    except ValueError:
+        raise ValueError(f"bad crash time in {text!r}: {when!r} is not a "
+                         f"number of milliseconds") from None
+    if at_ms < 0:
+        raise ValueError(f"crash time must be >= 0 ms, got {text!r}")
+    return parse_addr(addr_part), at_ms
 
 
 class FailureInjector:
@@ -64,6 +123,8 @@ class FailureInjector:
     def _proc(self, node: Addr) -> Process:
         if isinstance(node, Process):
             return node
+        if isinstance(node, str):
+            node = parse_addr(node)
         try:
             return self._by_addr[node]
         except (KeyError, TypeError):
@@ -73,24 +134,25 @@ class FailureInjector:
                             ((getattr(p, "group", None), p.node_id)
                              for p in self.processes)
                             if n == node and g is not None)
+            forms = ", ".join(f"({g}, {node}) / '{g}:{node}'" for g in groups)
             raise KeyError(
                 f"node_id {node} is ambiguous across groups {groups}; "
-                f"address it as (group, node_id)")
+                f"address it as (group, node_id) — one of {forms}")
         raise KeyError(f"no process with address {node!r}")
 
-    def crash_at(self, time_ns: int, node: Process | int) -> None:
+    def crash_at(self, time_ns: int, node: Addr) -> None:
         """Crash-stop ``node`` at absolute ``time_ns``."""
         self.engine.schedule_at(time_ns, self._proc(node).crash)
 
-    def deschedule_at(self, time_ns: int, node: Process | int, duration_ns: int) -> None:
+    def deschedule_at(self, time_ns: int, node: Addr, duration_ns: int) -> None:
         """Take ``node`` off-CPU for ``duration_ns`` starting at ``time_ns``."""
         self.engine.schedule_at(time_ns, self._proc(node).deschedule, duration_ns)
 
-    def sleep_at(self, time_ns: int, node: Process | int, duration_ns: int) -> None:
+    def sleep_at(self, time_ns: int, node: Addr, duration_ns: int) -> None:
         """Alias for a long deschedule — the paper's 'leader sleeps 5 s'."""
         self.deschedule_at(time_ns, node, duration_ns)
 
-    def slow_node(self, node: Process | int, speed_factor: float) -> None:
+    def slow_node(self, node: Addr, speed_factor: float) -> None:
         """Make ``node`` a long-latency node from now on: every CPU cost
         and poll gap is multiplied by ``speed_factor``."""
         p = self._proc(node)
@@ -132,3 +194,23 @@ class FailureInjector:
         """Addresses of processes that have not crashed: plain node ids
         in single-group runs, ``(group, node_id)`` in sharded ones."""
         return [p.addr for p in self.processes if not p.crashed]
+
+
+def schedule_crashes(engine: Engine, processes: Sequence[Process],
+                     crashes: Iterable[str],
+                     base_ns: Optional[int] = None) -> Optional[FailureInjector]:
+    """Apply a ``RunSpec.crashes`` schedule (``"node@ms"`` /
+    ``"group:node@ms"`` entries, parsed by :func:`parse_crash`) against
+    ``processes``.  Times are relative to ``base_ns`` (default: now —
+    the drivers call this right after settle, so ``@ms`` counts from
+    workload start).  Returns the injector, or None for an empty
+    schedule."""
+    crashes = list(crashes)
+    if not crashes:
+        return None
+    injector = FailureInjector(engine, processes)
+    t0 = engine.now if base_ns is None else base_ns
+    for entry in crashes:
+        addr, at_ms = parse_crash(entry)
+        injector.crash_at(t0 + ms(at_ms), addr)
+    return injector

@@ -3,44 +3,47 @@
 
 import pytest
 
-from repro.harness import SYSTEMS, build_system, settle, fig8_point, fig8_sweep
-from repro.harness.fig8 import knee, floor
-from repro.harness.fig9 import fig9_point
+from repro.harness import RunSpec, SYSTEMS, build_from_spec, settle
+from repro.harness.fig8 import knee, floor, point, sweep
+from repro.harness.fig9 import grid_spec
+from repro.harness.fig9 import point as fig9_point
 from repro.harness.render import render_table, render_series
-from repro.harness.table1 import table1_elections
+from repro.harness.table1 import election_spec, elections
 from repro.sim import Engine
 
 
 def test_factory_builds_every_system():
     for name in SYSTEMS:
         e = Engine(seed=1)
-        s = build_system(name, e, 3)
+        s = build_from_spec(RunSpec(system=name, n=3), e)
         assert s.name in (name, name.replace("derecho-", "derecho-"))
         assert s.n == 3
 
 
 def test_factory_rejects_unknown():
     with pytest.raises(ValueError):
-        build_system("nope", Engine(seed=1), 3)
+        RunSpec(system="nope")
 
 
 def test_settle_produces_leader_everywhere():
     for name in SYSTEMS:
         e = Engine(seed=2)
-        s = build_system(name, e, 3)
+        s = build_from_spec(RunSpec(system=name, n=3), e)
         settle(s)
         assert s.leader_id() is not None, name
 
 
 def test_fig8_point_measures():
-    p = fig8_point("acuerdo", 3, 10, window=2, min_completions=100)
+    p = point(RunSpec(system="acuerdo", n=3, payload_bytes=10, window=2),
+              min_completions=100)
     assert p.completed >= 100
     assert p.throughput_mb_s > 0
     assert 1 < p.mean_latency_us < 100
 
 
 def test_fig8_sweep_stops_at_saturation():
-    pts = fig8_sweep("acuerdo", 3, 10, min_completions=120, max_window=256)
+    pts = sweep(RunSpec(system="acuerdo", n=3, payload_bytes=10),
+                min_completions=120, max_window=256)
     assert 2 <= len(pts) <= 9
     assert pts[0].window == 1
     k = knee(pts)
@@ -50,13 +53,14 @@ def test_fig8_sweep_stops_at_saturation():
 
 
 def test_fig9_point_counts_ops():
-    p = fig9_point("acuerdo", 3, window=32, min_completions=150,
-                   max_sim_ms=200, record_count=500)
+    spec = grid_spec("acuerdo", 3, window=32).replace(duration_ms=200.0)
+    p = fig9_point(spec, min_completions=150, record_count=500)
     assert p.ops_per_sec > 10_000  # RDMA KV should be deep into 10^4+
 
 
 def test_table1_returns_durations():
-    durations = table1_elections(3, kills=1, kill_period_ms=2.0)
+    durations = elections(election_spec(3, kills=1, kill_period_ms=2.0),
+                          kills=1)
     assert len(durations) >= 1
     assert all(0 < d < 50 for d in durations)  # milliseconds
 

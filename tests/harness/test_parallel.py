@@ -13,9 +13,10 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness.factory import build_system, settle
-from repro.harness.fig8 import fig8_point
+from repro.harness.factory import build_from_spec, settle
+from repro.harness.fig8 import point
 from repro.harness.parallel import default_workers, run_points, WORKERS_ENV
+from repro.harness.runspec import RunSpec
 from repro.sim.engine import Engine, ms, us
 
 
@@ -23,7 +24,7 @@ def _fingerprint_point(name: str, seed: int, messages: int):
     """A small deterministic workload returning the full trace
     fingerprint (counters + sample digests + event count)."""
     engine = Engine(seed=seed)
-    system = build_system(name, engine, 3)
+    system = build_from_spec(RunSpec(system=name, n=3), engine)
     settle(system)
     state = {"submitted": 0}
 
@@ -68,9 +69,10 @@ def test_parallel_matches_sequential_fingerprints(workers):
 
 
 def test_parallel_matches_sequential_fig8_point():
-    pts = [("acuerdo", 3, 100, w, 5, 60) for w in (1, 2, 4)]
-    seq = run_points(fig8_point, pts, workers=1)
-    par = run_points(fig8_point, pts, workers=2)
+    pts = [(RunSpec(system="acuerdo", n=3, payload_bytes=100, window=w,
+                    seed=5), 60) for w in (1, 2, 4)]
+    seq = run_points(point, pts, workers=1)
+    par = run_points(point, pts, workers=2)
     assert par == seq
 
 

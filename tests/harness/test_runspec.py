@@ -80,16 +80,29 @@ def test_make_engine_capture_gate():
     assert traced.obs.tracer is traced.trace
 
 
-def test_legacy_shims_agree_with_canonical_entry_points():
-    """The deprecated keyword signatures are thin shims: same RunSpec,
-    bit-identical results."""
-    from repro.harness.fig8 import fig8_point, point
+def test_retired_keyword_entry_points_name_their_runspec_fields():
+    """The PR-3 keyword signatures are gone: calling one raises a
+    TypeError that tells the caller which RunSpec field replaces each
+    keyword (so stale call sites self-diagnose)."""
+    from repro.harness.factory import build_system
+    from repro.harness.fig8 import fig8_point, fig8_sweep
+    from repro.harness.fig9 import fig9_point
+    from repro.harness.table1 import table1_elections
 
-    shim = fig8_point("acuerdo", n=3, message_size=10, window=4, seed=2,
-                      min_completions=40, max_sim_ms=50.0)
-    canon = point(RunSpec(system="acuerdo", n=3, payload_bytes=10, window=4,
-                          seed=2, duration_ms=50.0), min_completions=40)
-    assert shim == canon
+    for retired, fields in [
+        (build_system, ["RunSpec.system", "RunSpec.n", "build_from_spec"]),
+        (fig8_point, ["RunSpec.system", "RunSpec.payload_bytes",
+                      "RunSpec.duration_ms"]),
+        (fig8_sweep, ["RunSpec.system", "RunSpec.payload_bytes",
+                      "RunSpec.workers"]),
+        (fig9_point, ["RunSpec.system", "RunSpec.payload_bytes",
+                      "RunSpec.duration_ms"]),
+        (table1_elections, ["RunSpec", "duration_ms"]),
+    ]:
+        with pytest.raises(TypeError) as exc:
+            retired("acuerdo", 3, 10)
+        for field in fields:
+            assert field in str(exc.value), (retired.__name__, field)
 
 
 def test_shard_fields_default_to_single_group():

@@ -1,0 +1,109 @@
+"""Monitors-on sweeps over healthy systems: zero violations, identical
+behaviour.
+
+The monitors' value depends on silence when nothing is wrong — a
+false positive on any of the nine golden systems, on a sharded farm or
+across election churn would make ``--check-invariants`` unusable as a
+CI gate.  These runs also pin the zero-interference contract: a
+monitored run must produce the bit-identical measurement of the same
+spec unmonitored (monitors observe, never steer).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import RunSpec
+from repro.harness.factory import EXTENSION_SYSTEMS, SYSTEMS
+from repro.harness.fig8 import point
+
+ALL_SYSTEMS = SYSTEMS + EXTENSION_SYSTEMS
+
+
+@pytest.mark.parametrize("name", ALL_SYSTEMS)
+def test_golden_systems_run_clean_under_monitors(name):
+    spec = RunSpec(system=name, n=3, payload_bytes=10, window=4,
+                   check_invariants=True)
+    collect: dict = {}
+    p = point(spec, min_completions=120, collect=collect)
+    assert p.completed >= 120, (name, p.completed)
+    assert collect["violations"] == 0, name
+
+
+def test_monitored_run_is_bit_identical_to_unmonitored():
+    spec = RunSpec(system="acuerdo", n=3, payload_bytes=100, window=8)
+    plain = point(spec, min_completions=200)
+    checked = point(spec.replace(check_invariants=True), min_completions=200)
+    assert checked == plain
+
+
+def test_follower_crash_run_stays_clean():
+    # Crash a follower mid-run: the quorum path keeps committing and the
+    # monitors must not mistake the survivor re-quorum for a violation.
+    spec = RunSpec(system="acuerdo", n=3, payload_bytes=10, window=4,
+                   crashes=("2@3",), check_invariants=True)
+    collect: dict = {}
+    p = point(spec, min_completions=200, collect=collect)
+    assert p.completed >= 200
+    assert collect["violations"] == 0
+
+
+def test_election_churn_stays_clean():
+    # Repeated leader kills exercise the leader/term events hardest;
+    # elections() calls engine.monitors.check() itself, so a false
+    # positive raises here.
+    from repro.harness.table1 import election_spec, elections
+
+    spec = election_spec(3, kills=2, kill_period_ms=2.0)
+    durations = elections(spec.replace(check_invariants=True), kills=2)
+    # Both kills fire; at least one fail-over completes inside the short
+    # run (the monitors audited all of the churn either way).
+    assert len(durations) >= 1
+
+
+def test_five_node_churn_with_slow_nodes_stays_clean():
+    # n=5 adds slow followers and exercises the heartbeat-eviction /
+    # epoch re-baselining path: a deposed leader waking from its kill
+    # window gets its ring floor jumped administratively.  Those floor
+    # jumps release unaccepted old-epoch slots (recovered by the next
+    # epoch's diff) and must be tagged admin, not reported as early
+    # release.
+    from repro.harness.table1 import election_spec, elections
+
+    spec = election_spec(5, kills=2, kill_period_ms=4.0)
+    durations = elections(spec.replace(check_invariants=True), kills=2)
+    assert len(durations) >= 1
+
+
+def test_eight_shard_farm_runs_clean_per_group():
+    from repro.harness.hostperf import SHARD_POINT
+    from repro.harness.shardsweep import shard_point
+
+    spec = SHARD_POINT.replace(duration_ms=4.0, check_invariants=True)
+    pt = shard_point(spec)
+    assert pt.shards == 8 and pt.committed > 0
+    assert pt.violations == 0
+
+
+def test_sharded_farm_monitors_every_group_independently():
+    # The registry must hold one monitor set per consensus group — the
+    # per-shard instances are what let one forged group fire without
+    # implicating its neighbours.
+    from repro.harness.hostperf import SHARD_POINT
+    from repro.monitors import MonitorRegistry
+    from repro.shard import ShardedDeployment
+
+    spec = SHARD_POINT.replace(shards=4, duration_ms=2.0,
+                               check_invariants=True)
+    engine = spec.make_engine()
+    assert isinstance(engine.monitors, MonitorRegistry)
+    dep = ShardedDeployment(engine, system=spec.system, shards=4, n=spec.n)
+    dep.settle()
+    assert set(engine.monitors.groups) == {0, 1, 2, 3}
+    # Forge a second leader inside shard 2 only.
+    engine.monitors.ingest(2, "acuerdo", 3, "leader", 0, t=engine.now,
+                           term="forged")
+    engine.monitors.ingest(2, "acuerdo", 3, "leader", 1, t=engine.now,
+                           term="forged")
+    vs = engine.monitors.finish()
+    assert [v.group for v in vs] == [2]

@@ -71,7 +71,8 @@ def test_shard_farm_fused_is_bit_identical_and_cheaper():
 
 def test_fusion_reduces_heap_pushes_on_rdma_systems():
     """On an SST/ring system the fan-out chains must actually bite."""
-    from repro.harness.factory import build_system, settle
+    from repro.harness.factory import build_from_spec, settle
+    from repro.harness.runspec import RunSpec
     from repro.sim.engine import Engine, ms
 
     def pushes(flag):
@@ -79,7 +80,7 @@ def test_fusion_reduces_heap_pushes_on_rdma_systems():
         os.environ["REPRO_CHAIN"] = flag
         try:
             engine = Engine(seed=11)
-            system = build_system("acuerdo", engine, 3)
+            system = build_from_spec(RunSpec(system="acuerdo", n=3), engine)
             settle(system)
             for i in range(8):
                 system.submit(("c", i), 64)

@@ -14,7 +14,8 @@ import os
 
 import pytest
 
-from repro.harness.factory import build_system, settle
+from repro.harness.factory import build_from_spec, settle
+from repro.harness.runspec import RunSpec
 from repro.sim.engine import Engine, ms, us
 from tests.substrate.test_golden_fingerprints import GOLDEN_FINGERPRINTS
 
@@ -25,7 +26,7 @@ def run_observed(name, n=3, seed=7, messages=24):
     """The golden-fingerprint workload, with delivery latencies and the
     tracer summary captured alongside the fingerprint."""
     engine = Engine(seed=seed)
-    system = build_system(name, engine, n)
+    system = build_from_spec(RunSpec(system=name, n=n), engine)
     settle(system)
     state = {"submitted": 0}
     submit_ns: dict = {}

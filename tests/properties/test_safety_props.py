@@ -15,7 +15,8 @@ legitimately halts progress); safety must hold regardless.
 from hypothesis import given, settings, strategies as st
 
 from repro.core import AcuerdoCluster
-from repro.harness.factory import build_system
+from repro.harness.factory import build_from_spec
+from repro.harness.runspec import RunSpec
 from repro.sim import Engine, ms, us
 
 
@@ -23,7 +24,8 @@ def _run_schedule(system_name: str, n: int, seed: int, crashes: list[int],
                   deschedules: list[tuple[int, int]], msgs: int,
                   horizon_ms: int) -> object:
     engine = Engine(seed=seed)
-    system = build_system(system_name, engine, n, record_deliveries=True)
+    system = build_from_spec(RunSpec(system=system_name, n=n), engine,
+                             record_deliveries=True)
     if isinstance(system, AcuerdoCluster):
         system.preseed_leader(0)
     system.start()

@@ -35,10 +35,13 @@ def test_dare_ordered_delivery():
 def test_dare_fine_grained_completions_cost_two_rounds():
     """Each entry needs write->completion->valid->completion before it
     counts — slower than Acuerdo's fire-and-forget (§5)."""
-    from repro.harness.fig8 import fig8_point
+    from repro.harness.fig8 import point
+    from repro.harness.runspec import RunSpec
 
-    dare = fig8_point("dare", 3, 10, window=1, min_completions=120)
-    acu = fig8_point("acuerdo", 3, 10, window=1, min_completions=120)
+    dare = point(RunSpec(system="dare", n=3, payload_bytes=10, window=1),
+                 min_completions=120)
+    acu = point(RunSpec(system="acuerdo", n=3, payload_bytes=10, window=1),
+                min_completions=120)
     assert dare.mean_latency_us > 1.15 * acu.mean_latency_us
 
 
@@ -83,10 +86,13 @@ def test_mu_completion_as_ack_beats_acuerdo_latency():
     """Mu's single-signaled-write commit path is the fastest of the
     lineage (its OSDI'20 microsecond claims) — the simulation runs the
     comparison the paper's testbed could not (§5)."""
-    from repro.harness.fig8 import fig8_point
+    from repro.harness.fig8 import point
+    from repro.harness.runspec import RunSpec
 
-    mu = fig8_point("mu", 3, 10, window=1, min_completions=120)
-    acu = fig8_point("acuerdo", 3, 10, window=1, min_completions=120)
+    mu = point(RunSpec(system="mu", n=3, payload_bytes=10, window=1),
+               min_completions=120)
+    acu = point(RunSpec(system="acuerdo", n=3, payload_bytes=10, window=1),
+                min_completions=120)
     assert mu.mean_latency_us < acu.mean_latency_us
 
 

@@ -16,7 +16,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness.factory import build_system, settle
+from repro.harness.factory import build_from_spec, settle
+from repro.harness.runspec import RunSpec
 from repro.shard import ARRIVAL_STREAM, ShardedDeployment, aggregate_client
 from repro.sim.engine import Engine, ms
 from repro.workloads.openloop import OpenLoopClient
@@ -30,7 +31,7 @@ SYSTEMS = ["acuerdo", "etcd", "zookeeper"]
 
 def _plain(system: str):
     engine = Engine(seed=SEED)
-    sys_ = build_system(system, engine, 3)
+    sys_ = build_from_spec(RunSpec(system=system, n=3), engine)
     settle(sys_)
     client = OpenLoopClient(sys_, period_ns=20_000, message_size=64,
                             arrival="poisson", key_dist="zipfian",

@@ -13,7 +13,8 @@ from __future__ import annotations
 
 import pytest
 
-from repro.harness.factory import EXTENSION_SYSTEMS, SYSTEMS, build_system, settle
+from repro.harness.factory import EXTENSION_SYSTEMS, SYSTEMS, build_from_spec, settle
+from repro.harness.runspec import RunSpec
 from repro.sim.engine import Engine, ms, us
 
 GOLDEN_FINGERPRINTS = {
@@ -41,7 +42,7 @@ GOLDEN_FINGERPRINTS = {
 def run_protocol(name, n=3, seed=7, messages=24):
     """The exact workload the goldens were captured under."""
     engine = Engine(seed=seed)
-    system = build_system(name, engine, n)
+    system = build_from_spec(RunSpec(system=name, n=n), engine)
     settle(system)
     state = {"submitted": 0}
 
