@@ -11,6 +11,9 @@ Usage::
     python -m repro trace --system acuerdo [--duration-ms 5] [--out t.json]
     python -m repro trace --shards 8 --users 100000 --skew 0.99  # farm trace
     python -m repro shootout --check-invariants --crash 0@1.5
+    python -m repro shootout --check-invariants --partition "0,1|2@2-6"
+    python -m repro shootout --check-invariants --byz equivocate:1@2
+    python -m repro adversary --matrix
 
 Every subcommand prints the same text tables the benchmarks archive
 under ``results/``; ``trace`` additionally writes a span trace (Chrome
@@ -18,7 +21,11 @@ trace event JSON, loadable in Perfetto, or a plain-JSON timeline).
 ``shootout``, ``shard`` and ``trace`` accept ``--check-invariants``
 (run the :mod:`repro.monitors` safety monitors; violations fail the
 exit code) and repeatable ``--crash node@ms`` / ``--crash g:n@ms``
-failure-injection flags.
+failure-injection flags; ``shootout`` and ``trace`` additionally take
+repeatable ``--partition "GROUPS@MS[-MS]"`` and ``--byz MODE:ADDR@MS``
+adversarial schedules.  ``adversary`` runs the Byzantine scenario
+suite (:mod:`repro.harness.adversary`): every scheduled attack against
+every backend, classified by the monitor oracle.
 """
 
 from __future__ import annotations
@@ -31,7 +38,8 @@ def _cmd_shootout(args: argparse.Namespace) -> int:
     from repro.harness import RunSpec, SYSTEMS, build_from_spec, render_table, settle
     from repro.harness.factory import EXTENSION_SYSTEMS
     from repro.sim import ms
-    from repro.sim.failure import schedule_crashes
+    from repro.sim.failure import (schedule_byz, schedule_crashes,
+                                   schedule_partitions)
     from repro.workloads.closedloop import ClosedLoopClient
 
     names = args.systems or (SYSTEMS + (EXTENSION_SYSTEMS if args.extensions else []))
@@ -41,12 +49,19 @@ def _cmd_shootout(args: argparse.Namespace) -> int:
         spec = RunSpec(system=name, n=args.nodes, payload_bytes=args.size,
                        window=args.window, seed=args.seed,
                        check_invariants=args.check_invariants,
-                       crashes=tuple(args.crash))
+                       crashes=tuple(args.crash),
+                       partitions=tuple(args.partition),
+                       byz=tuple(args.byz))
         engine = spec.make_engine()
         system = build_from_spec(spec, engine)
         settle(system)
         if spec.crashes:
             schedule_crashes(engine, system.processes(), spec.crashes)
+        if spec.partitions:
+            schedule_partitions(engine, system.substrate, spec.partitions,
+                                processes=system.processes())
+        if spec.byz:
+            schedule_byz(engine, system, spec.byz)
         client = ClosedLoopClient(system, window=args.window,
                                   message_size=args.size, warmup=30)
         client.start()
@@ -216,7 +231,9 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                    capture_spans=True, shards=args.shards, users=args.users,
                    skew=args.skew, arrival_rate=args.rate,
                    check_invariants=args.check_invariants,
-                   crashes=tuple(args.crash))
+                   crashes=tuple(args.crash),
+                   partitions=tuple(args.partition),
+                   byz=tuple(args.byz))
     res = capture_run(spec)
     if args.format == "chrome":
         doc = res.chrome()
@@ -243,6 +260,53 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return _report_violations(list(res.violations))
 
 
+def _cmd_adversary(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.harness.adversary import (ADVERSARY_SYSTEMS, attack_matrix,
+                                         render_matrix, run_attack)
+    from repro.sim.byzantine import BYZ_MODES
+
+    systems = tuple(args.systems or ADVERSARY_SYSTEMS)
+    if args.no_protection:
+        systems = tuple("acuerdo-unprotected" if s == "acuerdo" else s
+                        for s in systems)
+    modes = tuple(args.modes or BYZ_MODES)
+    for m in modes:
+        if m not in BYZ_MODES:
+            print(f"unknown attack mode {m!r}; pick from {BYZ_MODES}",
+                  file=sys.stderr)
+            return 2
+    if args.matrix or len(systems) > 1 or len(modes) > 1:
+        outcomes = attack_matrix(systems, modes, n=args.nodes,
+                                 seed=args.seed, duration_ms=args.duration_ms,
+                                 at_ms=args.at_ms, messages=args.messages)
+    else:
+        outcomes = [run_attack(systems[0], modes[0], n=args.nodes,
+                               seed=args.seed, duration_ms=args.duration_ms,
+                               at_ms=args.at_ms, messages=args.messages)]
+    if args.json:
+        print(json.dumps([o.to_dict() for o in outcomes], indent=2))
+        return 0
+    print(render_matrix(outcomes))
+    print()
+    from repro.harness.render import render_table
+
+    rows = [[o.system, o.mode, o.outcome, o.attempts, o.landed, o.blocked,
+             o.violations, o.completed] for o in outcomes]
+    print(render_table(
+        f"Attack detail: {args.nodes} nodes, seed {args.seed}, "
+        f"armed at {args.at_ms} ms",
+        ["system", "mode", "outcome", "att", "landed", "blocked",
+         "viol", "msgs"], rows))
+    witnesses = [o for o in outcomes if o.witness]
+    if witnesses:
+        print()
+        for o in witnesses:
+            print(f"WITNESS {o.system}/{o.mode}: {o.witness}")
+    return 0
+
+
 def _add_safety_flags(p: argparse.ArgumentParser) -> None:
     """Runtime-safety flags shared by the run-style subcommands."""
     p.add_argument("--check-invariants", action="store_true",
@@ -251,6 +315,22 @@ def _add_safety_flags(p: argparse.ArgumentParser) -> None:
     p.add_argument("--crash", action="append", default=[], metavar="ADDR@MS",
                    help="crash a replica: 'node@ms' or 'group:node@ms', "
                         "relative to workload start (repeatable)")
+
+
+def _add_adversarial_flags(p: argparse.ArgumentParser) -> None:
+    """Partition / Byzantine schedule flags (shootout and trace)."""
+    p.add_argument("--partition", action="append", default=[],
+                   metavar="GROUPS@MS[-MS]",
+                   help="partition the substrate into |-separated "
+                        "connectivity groups of comma-separated node ids, "
+                        "optionally healing at the second time: "
+                        "'0,1|2@5' or '0,1|2@5-20' (repeatable)")
+    p.add_argument("--byz", action="append", default=[],
+                   metavar="MODE:ADDR@MS",
+                   help="arm a Byzantine attack on one node: e.g. "
+                        "'equivocate:1@2' or 'replay_sst:3:1@0.5' "
+                        "(repeatable; modes: equivocate, tamper, duplicate, "
+                        "replay_sst, inflate, corrupt_ring, dup_ring)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -271,9 +351,32 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--messages", type=int, default=300)
     p.add_argument("--systems", nargs="*", default=None)
     p.add_argument("--extensions", action="store_true",
-                   help="include DARE and Mu")
+                   help="include DARE, Mu, Dolev and Bracha")
     _add_safety_flags(p)
+    _add_adversarial_flags(p)
     p.set_defaults(fn=_cmd_shootout)
+
+    p = sub.add_parser(
+        "adversary",
+        help="Byzantine scenario suite: attacks x systems, monitor-classified")
+    p.add_argument("--systems", nargs="*", default=None,
+                   help="systems to attack (default: the adversary set "
+                        "incl. acuerdo-unprotected, dolev, bracha)")
+    p.add_argument("--modes", nargs="*", default=None,
+                   help="attack modes (default: all)")
+    p.add_argument("--nodes", type=int, default=4,
+                   help="replicas (>= 4 gives f >= 1 for Dolev/Bracha)")
+    p.add_argument("--at-ms", type=float, default=1.0,
+                   help="arm the attack this long after workload start")
+    p.add_argument("--duration-ms", type=float, default=10.0)
+    p.add_argument("--messages", type=int, default=80)
+    p.add_argument("--matrix", action="store_true",
+                   help="force the full matrix even for a single cell")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable outcome list instead of tables")
+    p.add_argument("--no-protection", action="store_true",
+                   help="swap acuerdo for the SST-protection-off ablation")
+    p.set_defaults(fn=_cmd_adversary)
 
     p = sub.add_parser("fig8", help="one Figure 8 panel")
     p.add_argument("--panel", choices="abcd", default="a")
@@ -338,6 +441,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", default=None,
                    help="output path (default trace_<system>_<format>.json)")
     _add_safety_flags(p)
+    _add_adversarial_flags(p)
     p.set_defaults(fn=_cmd_trace)
     return parser
 

@@ -1,0 +1,205 @@
+"""Adversarial scenario suite: every attack against every backend.
+
+The suite closes the loop the ISSUE describes: the Byzantine injector
+(:mod:`repro.sim.byzantine`) supplies the *attacks*, the runtime safety
+monitors (:mod:`repro.monitors`) supply the *oracle*, and this harness
+runs the cross product and classifies each cell:
+
+``detected``
+    the attack produced observable traffic and a monitor reported at
+    least one violation — the system's safety argument does not cover
+    this behaviour, but the oracle catches it;
+``neutralized``
+    every attack attempt was stopped by a protection domain before
+    reaching the wire (the RDMA argument: a non-owner cannot forge a
+    remote SST row it was never granted);
+``absorbed``
+    forged traffic reached victims and the system stayed clean — the
+    protocol's own quorum structure defeated it (the Dolev/Bracha
+    claim);
+``n/a``
+    the attack's target surface does not exist on this system (no SST
+    to replay into, no ring slots to corrupt, no data on the hooked
+    send path).
+
+``acuerdo-unprotected`` is the ablation row: the same Acuerdo
+deployment with per-row SST write protection switched off, isolating
+how much of Acuerdo's resilience is the substrate's and how much is the
+protocol's.
+
+Entry points: :func:`run_attack` (one cell), :func:`attack_matrix` (the
+full product), and the ``repro adversary`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any
+
+from repro.harness.factory import settle
+from repro.monitors import MonitorRegistry
+from repro.sim.byzantine import BYZ_MODES, ByzantineInjector
+from repro.sim.engine import Engine, ms, us
+
+#: The systems the adversary matrix sweeps: the flagship (protected and
+#: unprotected), the three TCP baselines with distinct quorum
+#: structures, and the two Byzantine-tolerant reliable broadcasts.
+ADVERSARY_SYSTEMS = ("acuerdo", "acuerdo-unprotected", "zookeeper",
+                     "etcd", "libpaxos", "dolev", "bracha")
+
+#: Backends where the attacker role is positional (sequencer/source)
+#: rather than elected.
+_SEQUENCED = ("dolev", "bracha")
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """One classified cell of the attack × system matrix."""
+
+    system: str
+    mode: str
+    attacker: int
+    outcome: str                  # detected | neutralized | absorbed | n/a | no-effect
+    attempts: int
+    landed: int
+    blocked: int
+    violations: int
+    by_monitor: "tuple[tuple[str, int], ...]" = ()
+    witness: str = ""             # first violation's detail, if any
+    completed: int = 0            # client commits observed during the run
+
+    def to_dict(self) -> dict[str, Any]:
+        d = dataclasses.asdict(self)
+        d["by_monitor"] = dict(self.by_monitor)
+        return d
+
+
+def _build(system_name: str, engine: Engine, n: int):
+    """Build one adversary-matrix system (resolving the ablation row)."""
+    from repro.harness.factory import _build_named
+
+    if system_name == "acuerdo-unprotected":
+        system = _build_named("acuerdo", engine, n, record_deliveries=True)
+        for sst in (system.accept_sst, system.vote_sst, system.commit_sst):
+            sst.protected = False
+        return system
+    return _build_named(system_name, engine, n, record_deliveries=True)
+
+
+def _pick_attacker(system_name: str, system: Any, mode: str, n: int) -> int:
+    """The deterministic attacker for each cell.
+
+    Sequenced backends: the sequencer/source is the only node whose
+    sends carry data (equivocate/tamper/duplicate); vector inflation is
+    a *relayer* attack, so a follower mounts it.  Leader-based
+    backends: forging leadership, replaying SST state or inflating the
+    leader's accept vector is a *follower* attack by construction,
+    while payload forgery needs the node that sends the payloads — the
+    leader.
+    """
+    if system_name in _SEQUENCED:
+        return 0 if mode in ("equivocate", "tamper", "duplicate") else 1
+    ldr = system.leader_id() or 0
+    if mode in ("equivocate", "replay_sst", "inflate"):
+        return (ldr + 1) % n
+    return ldr
+
+
+def classify(byz: ByzantineInjector, mode: str, violations: int) -> str:
+    attempts = byz.attempts[mode]
+    landed = byz.landed[mode]
+    blocked = byz.blocked[mode]
+    if attempts == 0:
+        return "n/a"
+    if violations > 0:
+        return "detected"
+    if blocked > 0 and landed == 0:
+        return "neutralized"
+    if landed > 0:
+        return "absorbed"
+    return "no-effect"
+
+
+def run_attack(system_name: str, mode: str, *, n: int = 4, seed: int = 7,
+               duration_ms: float = 10.0, at_ms: float = 1.0,
+               messages: int = 80, protection: bool = True) -> AttackOutcome:
+    """Run one attack × system cell and classify the outcome.
+
+    A monitored deployment settles through its *real* election (no
+    preseed: the forged-leadership half of equivocation must conflict
+    with an actually claimed term), serves an open message pump, and is
+    attacked ``at_ms`` after workload start.
+    """
+    if mode not in BYZ_MODES:
+        raise ValueError(f"unknown attack mode {mode!r}; pick from {BYZ_MODES}")
+    if not protection and system_name == "acuerdo":
+        system_name = "acuerdo-unprotected"
+    engine = Engine(seed=seed)
+    registry = MonitorRegistry(engine)
+    system = _build(system_name, engine, n)
+    settle(system, preseed=False)
+    byz = ByzantineInjector(engine, system)
+    state = {"submitted": 0, "completed": 0, "attacker": -1}
+
+    def arm() -> None:
+        # The attacker role is positional relative to the *current*
+        # leader — resolved at arm time, because elected leadership may
+        # have moved between settle and the attack (etcd churns).
+        attacker = _pick_attacker(system_name, system, mode, n)
+        state["attacker"] = attacker
+        byz.arm(mode, attacker)
+
+    engine.schedule(ms(at_ms), arm)
+
+    def on_commit(_slot: Any) -> None:
+        state["completed"] += 1
+
+    def pump() -> None:
+        if state["submitted"] < messages:
+            if system.submit(("cl", state["submitted"]), 64,
+                             on_commit=on_commit):
+                state["submitted"] += 1
+            engine.schedule(us(20), pump)
+
+    engine.schedule(0, pump)
+    engine.run(until=engine.now + ms(duration_ms))
+    violations = registry.finish()
+    by_monitor: dict[str, int] = {}
+    for v in violations:
+        by_monitor[v.monitor] = by_monitor.get(v.monitor, 0) + 1
+    return AttackOutcome(
+        system=system_name, mode=mode, attacker=state["attacker"],
+        outcome=classify(byz, mode, len(violations)),
+        attempts=byz.attempts[mode], landed=byz.landed[mode],
+        blocked=byz.blocked[mode], violations=len(violations),
+        by_monitor=tuple(sorted(by_monitor.items())),
+        witness=str(violations[0]) if violations else "",
+        completed=state["completed"])
+
+
+def attack_matrix(systems: "tuple[str, ...]" = ADVERSARY_SYSTEMS,
+                  modes: "tuple[str, ...]" = BYZ_MODES, *, n: int = 4,
+                  seed: int = 7, duration_ms: float = 10.0,
+                  at_ms: float = 1.0,
+                  messages: int = 80) -> "list[AttackOutcome]":
+    """The full attack × system product, row-major by system."""
+    return [run_attack(s, m, n=n, seed=seed, duration_ms=duration_ms,
+                       at_ms=at_ms, messages=messages)
+            for s in systems for m in modes]
+
+
+def render_matrix(outcomes: "list[AttackOutcome]") -> str:
+    """Fixed-width text table of :func:`attack_matrix` results."""
+    systems = list(dict.fromkeys(o.system for o in outcomes))
+    modes = list(dict.fromkeys(o.mode for o in outcomes))
+    cell = {(o.system, o.mode): o.outcome for o in outcomes}
+    w0 = max(len("system"), *(len(s) for s in systems)) + 2
+    widths = [max(len(m), 11) + 2 for m in modes]
+    lines = ["".join(["system".ljust(w0)]
+                     + [m.ljust(w) for m, w in zip(modes, widths)])]
+    for s in systems:
+        lines.append("".join(
+            [s.ljust(w0)] + [cell.get((s, m), "-").ljust(w)
+                             for m, w in zip(modes, widths)]))
+    return "\n".join(lines)

@@ -31,8 +31,10 @@ SYSTEMS = [
 ]
 
 #: The §5 systems the paper discusses but does not (or could not)
-#: benchmark; built the same way, used by the extension benches.
-EXTENSION_SYSTEMS = ["dare", "mu"]
+#: benchmark, plus the Byzantine-tolerant reliable-broadcast baselines
+#: the adversary harness compares against; built the same way, used by
+#: the extension benches.
+EXTENSION_SYSTEMS = ["dare", "mu", "dolev", "bracha"]
 
 #: Which substrate backend each system deploys over (the x-axis of the
 #: paper's substrate-shape comparison).
@@ -46,6 +48,8 @@ SUBSTRATE_OF = {
     "libpaxos": "tcp",
     "zookeeper": "tcp",
     "etcd": "tcp",
+    "dolev": "tcp",
+    "bracha": "tcp",
 }
 
 #: Cluster-constructor kwarg that carries the cost model, per backend.
@@ -60,6 +64,8 @@ SETTLE_MS = {
     "libpaxos": 1,
     "zookeeper": 8,
     "etcd": 15,
+    "dolev": 1,
+    "bracha": 1,
 }
 
 
@@ -115,6 +121,14 @@ def _build_named(name: str, engine: Engine, n: int,
         from repro.protocols.mu import MuCluster
 
         return MuCluster(engine, n, record_deliveries=record_deliveries, **kwargs)
+    if name == "dolev":
+        from repro.protocols.dolev import DolevCluster
+
+        return DolevCluster(engine, n, record_deliveries=record_deliveries, **kwargs)
+    if name == "bracha":
+        from repro.protocols.bracha import BrachaCluster
+
+        return BrachaCluster(engine, n, record_deliveries=record_deliveries, **kwargs)
     raise ValueError(
         f"unknown system {name!r}; pick from {SYSTEMS + EXTENSION_SYSTEMS}")
 

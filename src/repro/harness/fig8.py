@@ -58,6 +58,15 @@ def point(spec: RunSpec, min_completions: int = 400,
         from repro.sim.failure import schedule_crashes
 
         schedule_crashes(engine, system.processes(), spec.crashes)
+    if spec.partitions:
+        from repro.sim.failure import schedule_partitions
+
+        schedule_partitions(engine, system.substrate, spec.partitions,
+                            processes=system.processes())
+    if spec.byz:
+        from repro.sim.failure import schedule_byz
+
+        schedule_byz(engine, system, spec.byz)
     client = ClosedLoopClient(system, window=spec.window,
                               message_size=spec.payload_bytes,
                               warmup=min(50, 2 * spec.window))

@@ -61,6 +61,15 @@ class RunSpec:
     #: (see :func:`repro.sim.failure.parse_crash`), applied relative to
     #: workload start by the drivers that support failure injection.
     crashes: "tuple[str, ...]" = ()
+    #: Partition schedule: ``"GROUPS@MS"`` / ``"GROUPS@MS-MS"`` entries
+    #: (see :func:`repro.sim.failure.parse_partition`), applied against
+    #: the deployment's substrate relative to workload start.
+    partitions: "tuple[str, ...]" = ()
+    #: Byzantine attack schedule: ``"MODE:ADDR@MS"`` entries (see
+    #: :func:`repro.sim.byzantine.parse_byz`), applied relative to
+    #: workload start.  Empty means no injector is attached at all, so
+    #: the run stays bit-identical to the golden fingerprints.
+    byz: "tuple[str, ...]" = ()
 
     def __post_init__(self) -> None:
         from repro.harness.factory import EXTENSION_SYSTEMS, SUBSTRATE_OF, SYSTEMS
@@ -97,10 +106,16 @@ class RunSpec:
         # validate eagerly so a bad entry fails at spec construction,
         # not mid-run.
         object.__setattr__(self, "crashes", tuple(self.crashes))
-        from repro.sim.failure import parse_crash
+        object.__setattr__(self, "partitions", tuple(self.partitions))
+        object.__setattr__(self, "byz", tuple(self.byz))
+        from repro.sim.failure import parse_byz, parse_crash, parse_partition
 
         for entry in self.crashes:
             parse_crash(entry)
+        for entry in self.partitions:
+            parse_partition(entry)
+        for entry in self.byz:
+            parse_byz(entry)
 
     # -------------------------------------------------------------- derived
 

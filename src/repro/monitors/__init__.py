@@ -38,6 +38,7 @@ from repro.monitors.invariants import (
     LogPrefixAgreement,
     SingleLeaderPerTerm,
     SlotReuseSafety,
+    SstMonotonic,
 )
 
 __all__ = [
@@ -50,5 +51,6 @@ __all__ = [
     "MonitorRegistry",
     "SingleLeaderPerTerm",
     "SlotReuseSafety",
+    "SstMonotonic",
     "Violation",
 ]

@@ -1,4 +1,4 @@
-"""The four shipped safety monitors.
+"""The shipped safety monitors.
 
 Each consumes only the normalized event vocabulary documented in
 :mod:`repro.monitors.registry`, so one implementation covers all nine
@@ -260,3 +260,37 @@ class SlotReuseSafety(Monitor):
         count = sum(1 for frontier in self._cum.values() if frontier >= slot)
         count += len(self._per.get(slot, ()))
         return count >= self._quorum
+
+
+class SstMonotonic(Monitor):
+    """SST rows never go backwards.
+
+    §3.2's "acknowledge only the newest message" argument rests on SST
+    rows carrying monotonically increasing values under last-writer-wins
+    overwrite + FIFO delivery.  A *replayed* stale row is precisely a
+    row going backwards at some holder — the regression this monitor
+    catches from ``sst_row`` events (emitted by the SST apply hook the
+    Byzantine injector installs while an SST attack is armed; honest
+    runs emit none, so this monitor is free outside adversarial
+    scenarios).
+
+    Event mapping: ``key`` = SST name, ``seq`` = row owner, ``slot`` =
+    new value, ``extra`` = value being overwritten.
+    """
+
+    name = "sst_monotonic"
+    KINDS = frozenset({"sst_row"})
+
+    def on_mark(self, ev: MonitorEvent) -> None:
+        old, new = ev.extra, ev.slot
+        if old is None or new is None:
+            return
+        try:
+            regressed = new < old
+        except TypeError:
+            regressed = False
+        if regressed:
+            self.report(
+                f"SST {ev.key!r} row {ev.seq} at holder {ev.node} went "
+                f"backwards: {old!r} -> {new!r}",
+                witness=(ev,), t=ev.t)

@@ -41,6 +41,11 @@ Normalized event vocabulary (the cross-protocol contract):
     ``slot`` None for filler/null sends with no safety obligation).
 ``slot_release``
     ring owner ``node`` released every ring sequence below ``seq``.
+``sst_row``
+    row ``seq`` of SST ``key`` in holder ``node``'s copy was
+    overwritten with ``slot`` (``extra`` = prior value).  Only emitted
+    through the SST apply hook the Byzantine injector installs while an
+    SST attack is armed — honest runs carry no ``sst_row`` traffic.
 
 Slots only need to be *comparable and hashable within one protocol*
 (Acuerdo ``MsgHdr``, integer log frontiers, Zab zxid pairs); monitors
@@ -342,8 +347,10 @@ from repro.monitors.invariants import (  # noqa: E402
     LogPrefixAgreement,
     SingleLeaderPerTerm,
     SlotReuseSafety,
+    SstMonotonic,
 )
 
 #: The monitors every ``--check-invariants`` run evaluates.
 DEFAULT_MONITORS: tuple = (SingleLeaderPerTerm, LogPrefixAgreement,
-                           CommitQuorumAccept, SlotReuseSafety)
+                           CommitQuorumAccept, SlotReuseSafety,
+                           SstMonotonic)

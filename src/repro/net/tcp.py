@@ -167,6 +167,20 @@ class TcpNetwork(Substrate):
         collecting the delivery step instead of scheduling it, so a
         fan-out loop (see :meth:`broadcast`) fuses its deliveries into
         one macro-event.  The caller must commit it."""
+        byz = self.engine.byz
+        if byz is not None:
+            repl = byz.on_net_send(self, src, dst, payload)
+            if repl is not None:
+                # Re-issue each transformed payload through the normal
+                # path so forged/duplicated traffic pays full substrate
+                # costs; the injector's guard keeps us from recursing.
+                byz._in_send = True
+                try:
+                    for pl in repl:
+                        self.send(src, dst, pl, size_bytes, sink)
+                finally:
+                    byz._in_send = False
+                return
         p = self.params
         src_ep = self.endpoints[src]
         if src_ep.process.crashed:

@@ -72,6 +72,15 @@ def capture_run(spec: Any, *, min_completions: Optional[int] = None,
         from repro.sim.failure import schedule_crashes
 
         schedule_crashes(engine, system.processes(), spec.crashes)
+    if spec.partitions:
+        from repro.sim.failure import schedule_partitions
+
+        schedule_partitions(engine, system.substrate, spec.partitions,
+                            processes=system.processes())
+    if spec.byz:
+        from repro.sim.failure import schedule_byz
+
+        schedule_byz(engine, system, spec.byz)
 
     result = None
     if spec.workload == "openloop":

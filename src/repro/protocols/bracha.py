@@ -1,0 +1,225 @@
+"""Bracha reliable broadcast over TCP — a Byzantine-tolerant baseline.
+
+Bracha's double-echo protocol (Bracha 1987) tolerates ``f < n/3``
+Byzantine nodes with no authentication: a sequencer SENDs each message,
+every node ECHOes what it received, sends READY once an echo quorum
+``⌈(n+f+1)/2⌉`` agrees on one value, amplifies READY at ``f+1`` and
+delivers at ``2f+1``.  The two-quorum structure guarantees any two
+nodes that deliver a slot deliver the *same* value even when the
+sequencer equivocates — the property the adversary harness checks by
+firing the equivocation attack at it (the attack is *absorbed*: the
+forked slot simply never reaches an echo quorum, so nothing diverges).
+
+Total order rides the sequencer's slot numbers (a Byzantine-tolerant
+*atomic* broadcast would rotate the sequencer or agree on batches; the
+repro needs the reliable-broadcast core, which is where the Byzantine
+quorum maths lives).  Cost model matches the TCP baselines: per-message
+request/echo CPU plus the shared kernel send path — with ``O(n²)``
+message complexity, which is the price of Byzantine tolerance the
+Fig. 8-style comparison surfaces.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from repro.protocols.base import BroadcastSystem, CommitCallback
+from repro.substrate import TcpParams, build_substrate
+from repro.sim.engine import Engine
+from repro.sim.process import Process, ProcessConfig
+
+
+@dataclass
+class BrachaConfig:
+    """Deployment cost knobs (lean service, no disk in the loop)."""
+
+    request_cpu_ns: int = 6_000
+    echo_cpu_ns: int = 1_500
+    max_requests_per_poll: int = 8
+    msg_overhead_bytes: int = 40
+    process: ProcessConfig = field(
+        default_factory=lambda: ProcessConfig(poll_interval_ns=2_000,
+                                              poll_jitter_ns=500))
+
+
+class BrachaNode(Process):
+    """One replica of the double-echo broadcast."""
+
+    def __init__(self, cluster: "BrachaCluster", node_id: int,
+                 cfg: BrachaConfig):
+        super().__init__(cluster.engine, node_id,
+                         dataclasses.replace(cfg.process),
+                         name=f"bracha{node_id}")
+        self.cluster = cluster
+        self.cfg = cfg
+        self.ep = cluster.net.attach(self)
+        self._echoed: set[int] = set()            # slots this node echoed
+        self._readied: set[int] = set()           # slots this node readied
+        self._echoes: dict[tuple, set[int]] = {}  # (slot, value) -> echoers
+        self._readies: dict[tuple, set[int]] = {}
+        self._delivered: set[int] = set()
+        self._buffer: dict[int, Any] = {}         # slot -> deliverable value
+        self.next_deliver = 0
+        # sequencer-only state
+        self.pending: list[tuple[Any, int, Optional[CommitCallback]]] = []
+        self.next_slot = 0
+        self._cbs: dict[int, CommitCallback] = {}
+
+    # ------------------------------------------------------------------ util
+
+    def _charge(self, cost: int) -> None:
+        cpu = self.cpu
+        cpu.busy_until = max(cpu.busy_until, self.engine.now) + int(
+            cost * cpu.speed_factor)
+
+    def _bcast(self, msg: tuple, size: int) -> None:
+        nodes = self.cluster.nodes
+        dsts = [p for p in self.cluster.node_ids
+                if p != self.node_id and not nodes[p].crashed]
+        self.cluster.net.broadcast(self.node_id, dsts, msg,
+                                   size + self.cfg.msg_overhead_bytes)
+
+    # ------------------------------------------------------------------ poll
+
+    def on_poll(self) -> None:
+        if self.ep.inbox:
+            for src, msg in self.ep.drain():
+                self._dispatch(src, msg)
+        if self.node_id == self.cluster.sequencer:
+            taken = 0
+            while self.pending and taken < self.cfg.max_requests_per_poll:
+                taken += 1
+                payload, size, cb = self.pending.pop(0)
+                s = self.next_slot
+                self.next_slot += 1
+                if cb is not None:
+                    self._cbs[s] = cb
+                self._charge(self.cfg.request_cpu_ns)
+                msg = ("SEND", s, payload, size)
+                obs = self.engine.obs
+                if obs is not None:
+                    obs.bind(msg, payload)
+                    obs.mark(payload, "propose", self.engine.now)
+                self._bcast(msg, size)
+                self._on_send(s, payload, size)
+                self.engine.trace.count("bracha.send")
+
+    def client_broadcast(self, payload: Any, size: int,
+                         on_commit: Optional[CommitCallback] = None) -> None:
+        self.pending.append((payload, size, on_commit))
+        self.request_poll()
+
+    # -------------------------------------------------------------- messages
+
+    def _dispatch(self, src: int, msg: tuple) -> None:
+        kind = msg[0]
+        if kind == "SEND":
+            self._on_send(msg[1], msg[2], msg[3])
+        elif kind == "ECHO":
+            self._on_echo(src, msg[1], msg[2], msg[3])
+        elif kind == "READY":
+            self._on_ready(src, msg[1], msg[2], msg[3])
+
+    def _on_send(self, s: int, v: Any, size: int) -> None:
+        # Echo at most one value per slot: the anti-equivocation rule.
+        if s in self._echoed:
+            return
+        self._echoed.add(s)
+        self._charge(self.cfg.echo_cpu_ns)
+        monitors = self.engine.monitors
+        if monitors is not None:
+            # Echoing is this node's per-slot acceptance vote for v.
+            monitors.note(self.cluster, "accept_one", self.node_id,
+                          slot=s, key=v)
+        self._bcast(("ECHO", s, v, size), size)
+        self._on_echo(self.node_id, s, v, size)
+
+    def _on_echo(self, src: int, s: int, v: Any, size: int) -> None:
+        nodes = self._echoes.setdefault((s, v), set())
+        nodes.add(src)     # a set: duplicated echoes collapse
+        if len(nodes) >= self.cluster.echo_quorum and s not in self._readied:
+            self._send_ready(s, v, size)
+
+    def _on_ready(self, src: int, s: int, v: Any, size: int) -> None:
+        nodes = self._readies.setdefault((s, v), set())
+        nodes.add(src)
+        if len(nodes) >= self.cluster.f + 1 and s not in self._readied:
+            self._send_ready(s, v, size)   # READY amplification
+        if len(nodes) >= 2 * self.cluster.f + 1 and s not in self._delivered:
+            self._delivered.add(s)
+            self._buffer[s] = v
+            self._drain()
+
+    def _send_ready(self, s: int, v: Any, size: int) -> None:
+        self._readied.add(s)
+        self._charge(self.cfg.echo_cpu_ns)
+        monitors = self.engine.monitors
+        if monitors is not None:
+            # The ready vote re-asserts acceptance of v for slot s (the
+            # per-node sets in the quorum monitor collapse the repeat).
+            monitors.note(self.cluster, "accept_one", self.node_id,
+                          slot=s, key=v)
+        self._bcast(("READY", s, v, size), size)
+        self._on_ready(self.node_id, s, v, size)
+
+    def _drain(self) -> None:
+        monitors = self.engine.monitors
+        sequencer = self.node_id == self.cluster.sequencer
+        while self.next_deliver in self._buffer:
+            s = self.next_deliver
+            v = self._buffer.pop(s)
+            self.next_deliver += 1
+            if monitors is not None:
+                monitors.note(self.cluster, "commit", self.node_id,
+                              slot=s, key=v)
+            self.cluster.record_delivery(self.node_id, v)
+            if sequencer:
+                cb = self._cbs.pop(s, None)
+                if cb is not None:
+                    cb(s)
+            self.engine.trace.count("bracha.deliver")
+
+
+class BrachaCluster(BroadcastSystem):
+    """A Bracha reliable-broadcast deployment with a fixed sequencer."""
+
+    name = "bracha"
+
+    def __init__(self, engine: Engine, n: int,
+                 config: Optional[BrachaConfig] = None,
+                 tcp_params: Optional[TcpParams] = None,
+                 record_deliveries: bool = True):
+        super().__init__(engine, n, record_deliveries)
+        self.cfg = config or BrachaConfig()
+        self.net = self.substrate = build_substrate("tcp", engine,
+                                                    params=tcp_params)
+        #: Byzantine resilience and its two quorums.
+        self.f = (n - 1) // 3
+        self.echo_quorum = (n + self.f) // 2 + 1   # ⌈(n+f+1)/2⌉
+        self.sequencer = 0
+        self.nodes: dict[int, BrachaNode] = {
+            i: BrachaNode(self, i, self.cfg) for i in self.node_ids}
+
+    def start(self) -> None:
+        for nd in self.nodes.values():
+            nd.start()
+
+    def processes(self):
+        return list(self.nodes.values())
+
+    def submit(self, payload: Any, size_bytes: int,
+               on_commit: Optional[CommitCallback] = None) -> bool:
+        if self.nodes[self.sequencer].crashed:
+            return False
+        self.obs_begin(payload)
+        self.nodes[self.sequencer].client_broadcast(payload, size_bytes,
+                                                    on_commit)
+        return True
+
+    def leader_id(self) -> Optional[int]:
+        """The fixed sequencer plays the serving-node role (there is no
+        elected leader and no term — Bracha emits no ``leader`` events)."""
+        nd = self.nodes[self.sequencer]
+        return None if nd.crashed else self.sequencer

@@ -203,6 +203,17 @@ class RdmaFabric(Substrate):
         endpoint's inbox region.  Charges the poster's doorbell CPU (the
         only send-side CPU RDMA involves); both endpoints must have been
         created with :meth:`attach`."""
+        byz = self.engine.byz
+        if byz is not None:
+            repl = byz.on_net_send(self, src, dst, payload)
+            if repl is not None:
+                byz._in_send = True
+                try:
+                    for pl in repl:
+                        self.send(src, dst, pl, size_bytes, sink)
+                finally:
+                    byz._in_send = False
+                return
         src_ep = self.endpoints[src]
         dst_ep = self.endpoints[dst]
         if src_ep.process.crashed or not self.nics[src].powered:

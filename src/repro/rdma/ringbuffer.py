@@ -245,6 +245,10 @@ class RingBuffer:
         # the try/finally guarantees buffered steps are flushed even if
         # a later receiver's QP raises SendQueueFullError mid-fan-out.
         sink = self._sink if fabric.engine.chain_enabled else None
+        byz = fabric.engine.byz
+        if byz is not None and self.sender in byz._ring_modes:
+            return self._try_send_byz(byz, seq, dests, payload, size_bytes,
+                                      earliest_ns, sink)
         try:
             for r in dests:
                 if r == sender:
@@ -276,6 +280,68 @@ class RingBuffer:
                 if two_writes:
                     write(sender, r, region, rkey, ("counter", seq), None,
                           8, signaled=False, earliest_ns=earliest_ns, sink=sink)
+        finally:
+            if sink is not None:
+                sink.commit()
+        return seq
+
+    def _try_send_byz(self, byz: Any, seq: int, dests: Iterable[int],
+                      payload: Any, size_bytes: int, earliest_ns: int,
+                      sink: Any) -> int:
+        """The attacked twin of :meth:`try_send`'s fan-out loop, taken
+        only while a ring attack is armed on this sender.
+
+        Per remote receiver the injector may substitute the slot's
+        payload(s) — a different forgery per receiver (corrupt_ring) or
+        a forged twin write into the same slot (dup_ring).  The sender's
+        *local* mirror keeps the honest payload: a lying node still
+        knows the truth, which is exactly what makes the receivers'
+        divergence monitor-visible.  Costs are identical per write to
+        the honest path, and extra writes pay full wire costs.
+        """
+        sender = self.sender
+        two_writes = self.writes_per_message == 2
+        write = self.fabric.write
+        since = self._since_signal
+        wires = self._wires
+        interval = self.signal_interval
+        direct = self.fabric._partition is None
+        try:
+            for r in dests:
+                if r == sender:
+                    rr = self._receivers[r]
+                    rr._on_data(seq, payload, size_bytes)
+                    if two_writes:
+                        rr._on_counter(seq)
+                    continue
+                repl = byz.on_ring_write(self, seq, r, payload)
+                pls = repl if repl is not None else (payload,)
+                count = since[r] + 1
+                signaled = count >= interval
+                since[r] = 0 if signaled else count
+                wire = wires.get(r) if direct else None
+                for pl in pls:
+                    if wire is not None:
+                        region, rkey, qp = wire
+                        qp.post_write(region, rkey, ("data", seq), pl,
+                                      size_bytes, signaled, ("ring", seq),
+                                      earliest_ns, sink)
+                    else:
+                        region, rkey = self._regions[r]
+                        write(sender, r, region, rkey, ("data", seq), pl,
+                              size_bytes, signaled=signaled,
+                              wr_id=("ring", seq), earliest_ns=earliest_ns,
+                              sink=sink)
+                if two_writes:
+                    if wire is not None:
+                        region, rkey, qp = wire
+                        qp.post_write(region, rkey, ("counter", seq), None,
+                                      8, False, None, earliest_ns, sink)
+                    else:
+                        region, rkey = self._regions[r]
+                        write(sender, r, region, rkey, ("counter", seq), None,
+                              8, signaled=False, earliest_ns=earliest_ns,
+                              sink=sink)
         finally:
             if sink is not None:
                 sink.commit()

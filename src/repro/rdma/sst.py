@@ -50,6 +50,18 @@ class SharedStateTable:
             (m, t): 0 for m in self.members for t in self.members if m != t}
         self._write = fabric.write  # prebound: one hot call per push target
         self._wr_id = ("sst", name)  # one shared tuple, not one per push
+        #: Protection-domain model: with ``protected`` True (the default,
+        #: matching real RDMA registration — each member's QP is granted
+        #: write access to its own row only), :meth:`remote_write_row`
+        #: refuses writes to rows the writer does not own.  The
+        #: adversary harness flips this off to model a substrate without
+        #: per-row grants (see DESIGN.md §12).
+        self.protected = True
+        #: Optional row-overwrite observer ``hook(sst, holder, row, old,
+        #: new)`` installed by the Byzantine injector while an SST attack
+        #: is armed; None on every honest run so ``_apply`` stays on its
+        #: two-line fast path.
+        self._mon_hook = None
         self._sink = fabric.engine.chain_builder()  # reusable fan-out fuser
         self.pushes = 0
         for m in self.members:
@@ -69,8 +81,34 @@ class SharedStateTable:
                     self._wires[(src, m)] = (region, rkey, fabric.qps[(src, m)])
 
     def _apply(self, holder: int, row: int, value: Any) -> None:
+        hook = self._mon_hook
+        if hook is not None:
+            hook(self, holder, row, self.copies[holder][row], value)
         self.copies[holder][row] = value
         self._versions[holder] += 1
+
+    def remote_write_row(self, writer: int, holder: int, row: int,
+                         value: Any) -> bool:
+        """Attempt a one-sided write of ``row`` in ``holder``'s copy on
+        behalf of ``writer`` — *any* row, not just the writer's own.
+
+        This is the adversarial entry point: the normal protocol path
+        (:meth:`push`) only ever writes the pusher's own row.  With
+        :attr:`protected` True the protection domain blocks any
+        ``row != writer`` attempt before it reaches the wire (returns
+        False) — the RDMA argument that a non-owner cannot forge a
+        remote SST row.  Unprotected, the forged write travels the same
+        QP path as a real push.  Returns True iff the write was issued.
+        """
+        if self.protected and row != writer:
+            return False
+        if holder == writer:
+            self._apply(holder, row, value)
+            return True
+        region, rkey = self._regions[holder]
+        self.fabric.write(writer, holder, region, rkey, row, value,
+                          self.row_size_bytes, wr_id=("byz", self.name))
+        return True
 
     def version(self, holder: int) -> int:
         """Monotone counter bumped whenever ``holder``'s copy changes.

@@ -284,6 +284,12 @@ class Engine:
         #: gated by ``engine.monitors is not None``, so runs without
         #: monitors execute no monitor code at all.
         self.monitors: Optional[Any] = None
+        #: adversarial-fault attachment point: a
+        #: :class:`~repro.sim.byzantine.ByzantineInjector` (or None).
+        #: Same contract again — every substrate/ring interception site
+        #: is gated by ``engine.byz is not None``, so byz-off runs stay
+        #: bit-identical to the golden fingerprints.
+        self.byz: Optional[Any] = None
 
     # ---------------------------------------------------------------- scope
 

@@ -9,7 +9,13 @@ Supports the failure classes the paper's evaluation exercises:
 - **transient deschedules** (scheduler hiccups that receiver-side
   batching absorbs) — :meth:`deschedule_at`;
 - **repeating leader kill** (Table 1's repeated election trigger) —
-  :meth:`kill_leader_every`.
+  :meth:`kill_leader_every`;
+- **network partitions** (substrate-level connectivity groups with an
+  optional heal time) — :meth:`partition_at` / :meth:`heal_at` and the
+  ``RunSpec.partitions`` / ``--partition`` schedule surface;
+- **Byzantine misbehaviour** (lying, forging, replaying — the *beyond
+  crash-stop* model) lives in :mod:`repro.sim.byzantine` and is
+  re-exported here for schedule symmetry.
 """
 
 from __future__ import annotations
@@ -84,6 +90,48 @@ def parse_crash(text: str) -> "tuple[int | tuple[int, int], float]":
     return parse_addr(addr_part), at_ms
 
 
+def parse_partition(
+        text: str,
+) -> "tuple[tuple[tuple[int, ...], ...], float, float | None]":
+    """Parse one partition-schedule entry ``"GROUPS@MS"`` or
+    ``"GROUPS@MS-MS"`` into ``(groups, start_ms, end_ms_or_None)``.
+
+    ``GROUPS`` is ``|``-separated connectivity groups of comma-separated
+    node ids — e.g. ``"0,1|2@5"`` (cut node 2 off from {0, 1} at 5 ms,
+    never heal) or ``"0,1|2@5-20"`` (same cut, healed at 20 ms).
+    """
+    groups_part, sep, when = text.rpartition("@")
+    if not sep or not groups_part:
+        raise ValueError(
+            f"cannot parse partition {text!r}; use 'GROUPS@MS' or "
+            f"'GROUPS@MS-MS' (e.g. '0,1|2@5' or '0,1|2@5-20')")
+    start_s, sep, end_s = when.partition("-")
+    try:
+        start_ms = float(start_s)
+        end_ms = float(end_s) if sep else None
+    except ValueError:
+        raise ValueError(f"bad partition time in {text!r}: {when!r} is not "
+                         f"'MS' or 'MS-MS'") from None
+    if start_ms < 0 or (end_ms is not None and end_ms < start_ms):
+        raise ValueError(
+            f"partition window must satisfy 0 <= start <= end, got {text!r}")
+    groups = []
+    for grp in groups_part.split("|"):
+        members = []
+        for part in grp.split(","):
+            part = part.strip()
+            try:
+                members.append(int(part))
+            except ValueError:
+                raise ValueError(
+                    f"bad node id {part!r} in partition {text!r}; groups "
+                    f"are comma-separated ints split by '|'") from None
+        if not members:
+            raise ValueError(f"empty connectivity group in partition {text!r}")
+        groups.append(tuple(members))
+    return tuple(groups), start_ms, end_ms
+
+
 class FailureInjector:
     """Schedules failures against a set of processes.
 
@@ -99,9 +147,13 @@ class FailureInjector:
     ``(group, node)`` form rather than silently picking a group.
     """
 
-    def __init__(self, engine: Engine, processes: Sequence[Process]):
+    def __init__(self, engine: Engine, processes: Sequence[Process],
+                 substrate: object = None):
         self.engine = engine
         self.processes = list(processes)
+        #: substrate the partition methods act on (optional — crash
+        #: and deschedule injection never needs it).
+        self.substrate = substrate
         self._by_addr: dict[object, Process] = {}
         self._ambiguous: set[int] = set()
         for p in self.processes:
@@ -159,15 +211,42 @@ class FailureInjector:
         p.config.speed_factor = speed_factor
         p.cpu.speed_factor = speed_factor
 
+    def partition_at(self, time_ns: int, *groups: "Iterable[int]") -> None:
+        """Partition the substrate into the given connectivity groups at
+        absolute ``time_ns`` (see ``Substrate.set_partition``: traffic
+        crossing group boundaries is dropped and counted)."""
+        if self.substrate is None:
+            raise ValueError(
+                "this FailureInjector has no substrate; construct it as "
+                "FailureInjector(engine, processes, substrate=...) to "
+                "schedule partitions")
+        self.engine.schedule_at(time_ns, self.substrate.set_partition, *groups)
+
+    def heal_at(self, time_ns: int) -> None:
+        """Heal any active partition at absolute ``time_ns``."""
+        if self.substrate is None:
+            raise ValueError(
+                "this FailureInjector has no substrate; construct it as "
+                "FailureInjector(engine, processes, substrate=...) to "
+                "schedule partitions")
+        self.engine.schedule_at(time_ns, self.substrate.heal_partition)
+
     def kill_leader_every(self, period_ns: int, leader_of: Callable[[], int | None],
                           start_ns: int | None = None, on_kill: Callable[[int], None] | None = None,
-                          stop_after: int | None = None) -> None:
+                          stop_after: int | None = None,
+                          group: int | None = None) -> None:
         """Repeatedly crash whichever node ``leader_of()`` reports.
 
         Used by the Table 1 harness: every ``period_ns`` the current
         leader (if any) is crash-stopped, forcing an election among the
         survivors.  ``on_kill(node_id)`` lets the harness timestamp the
         kill.  Stops after ``stop_after`` kills when given.
+
+        ``leader_of()`` usually returns a bare node id.  In a sharded
+        farm that id may exist in several groups; pass ``group=`` to
+        scope the lookup.  An ambiguous id without a scope raises
+        immediately (it used to be swallowed, silently skipping every
+        kill — the worst kind of robustness-test no-op).
         """
         state = {"kills": 0}
 
@@ -176,11 +255,10 @@ class FailureInjector:
                 return
             ldr = leader_of()
             if ldr is not None:
-                try:
-                    proc = self._proc(ldr)
-                except KeyError:
-                    proc = None
-                if proc is not None and not proc.crashed:
+                addr = ((group, ldr) if group is not None
+                        and not isinstance(ldr, (tuple, Process)) else ldr)
+                proc = self._proc(addr)
+                if not proc.crashed:
                     proc.crash()
                     state["kills"] += 1
                     if on_kill is not None:
@@ -214,3 +292,38 @@ def schedule_crashes(engine: Engine, processes: Sequence[Process],
         addr, at_ms = parse_crash(entry)
         injector.crash_at(t0 + ms(at_ms), addr)
     return injector
+
+
+def schedule_partitions(engine: Engine, substrate: object,
+                        partitions: Iterable[str],
+                        base_ns: Optional[int] = None,
+                        processes: Sequence[Process] = (),
+                        ) -> Optional[FailureInjector]:
+    """Apply a ``RunSpec.partitions`` schedule (``"GROUPS@MS[-MS]"``
+    entries, parsed by :func:`parse_partition`) against ``substrate``.
+    Times are relative to ``base_ns`` (default: now).  Returns the
+    injector, or None for an empty schedule."""
+    partitions = list(partitions)
+    if not partitions:
+        return None
+    injector = FailureInjector(engine, processes, substrate=substrate)
+    t0 = engine.now if base_ns is None else base_ns
+    for entry in partitions:
+        groups, start_ms, end_ms = parse_partition(entry)
+        injector.partition_at(t0 + ms(start_ms), *groups)
+        if end_ms is not None:
+            injector.heal_at(t0 + ms(end_ms))
+    return injector
+
+
+# Byzantine attacks are the other half of the adversarial surface; the
+# schedule helpers live in repro.sim.byzantine but are re-exported here
+# so harness code has one failure-scheduling import.
+from repro.sim.byzantine import (  # noqa: E402
+    BYZ_MODES, ByzantineInjector, parse_byz, schedule_byz)
+
+__all__ = [
+    "Addr", "FailureInjector", "parse_addr", "format_addr", "parse_crash",
+    "parse_partition", "schedule_crashes", "schedule_partitions",
+    "BYZ_MODES", "ByzantineInjector", "parse_byz", "schedule_byz",
+]

@@ -20,6 +20,7 @@ from repro.monitors import (
     MonitorRegistry,
     SingleLeaderPerTerm,
     SlotReuseSafety,
+    SstMonotonic,
     Violation,
 )
 
@@ -246,6 +247,33 @@ def test_slot_reuse_aliases_commit_quorum_accept_in_the_default_set():
     assert r.finish() == []
 
 
+# ------------------------------------------------------ sst monotonicity
+
+
+def test_sst_row_going_backwards_fires():
+    r = _registry()
+    r.ingest(None, "acuerdo", 3, "sst_row", 1, t=10,
+             key="accept", seq=0, slot=7, extra=3)       # 3 -> 7: fine
+    r.ingest(None, "acuerdo", 3, "sst_row", 1, t=20,
+             key="accept", seq=0, slot=2, extra=7)       # 7 -> 2: replay
+    v = _only(r, "sst_monotonic")
+    assert "went" in v.detail and "backwards" in v.detail
+    assert "'accept'" in v.detail and "row 0" in v.detail
+
+
+def test_monotone_and_incomparable_sst_writes_stay_clean():
+    r = _registry()
+    r.ingest(None, "acuerdo", 3, "sst_row", 1, t=10,
+             key="accept", seq=0, slot=5, extra=5)       # idempotent
+    r.ingest(None, "acuerdo", 3, "sst_row", 1, t=20,
+             key="accept", seq=0, slot=9, extra=5)       # forward
+    r.ingest(None, "acuerdo", 3, "sst_row", 2, t=30,
+             key="vote", seq=1, slot=(1, 2), extra=None) # first write
+    r.ingest(None, "acuerdo", 3, "sst_row", 2, t=40,
+             key="vote", seq=1, slot="x", extra=(1, 2))  # incomparable
+    assert r.finish() == []
+
+
 # ----------------------------------------------------- registry plumbing
 
 
@@ -343,6 +371,7 @@ def test_span_routing_reaches_overriding_monitors_by_shard_label():
     assert got == [(None, "m17"), (2, "shard.2.m4")]
 
 
-def test_default_monitor_set_is_the_four_shipped_invariants():
+def test_default_monitor_set_is_the_shipped_invariants():
     assert DEFAULT_MONITORS == (SingleLeaderPerTerm, LogPrefixAgreement,
-                                CommitQuorumAccept, SlotReuseSafety)
+                                CommitQuorumAccept, SlotReuseSafety,
+                                SstMonotonic)

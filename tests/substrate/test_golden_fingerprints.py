@@ -36,6 +36,10 @@ GOLDEN_FINGERPRINTS = {
         (((('dare.elected', 88), ('dare.election_rounds', 87)), (), 0), ((0, 24), (1, 24), (2, 24)), 2),
     'mu':
         (((), (), 0), ((0, 24), (1, 24), (2, 24)), 0),
+    'dolev':
+        (((('dolev.deliver', 72), ('dolev.relay', 48), ('dolev.send', 24)), (), 0), ((0, 24), (1, 24), (2, 24)), 0),
+    'bracha':
+        (((('bracha.deliver', 72), ('bracha.send', 24)), (), 0), ((0, 24), (1, 24), (2, 24)), 0),
 }
 
 
