@@ -192,9 +192,24 @@ def _cmd_shard(args: argparse.Namespace) -> int:
                    duration_ms=args.duration_ms, seed=args.seed,
                    shards=1, users=args.users, skew=0.0,
                    arrival_rate=args.rate,
+                   workers=args.workers if args.workers is not None else 1,
                    check_invariants=args.check_invariants,
-                   crashes=tuple(args.crash))
-    pts = shard_sweep(spec, args.shards, args.skews, workers=args.workers)
+                   crashes=tuple(args.crash),
+                   partitions=tuple(args.partition),
+                   byz=tuple(args.byz))
+    # Validate failure-schedule group addresses against every shard
+    # count of the sweep at parse time: a schedule naming group 7 on a
+    # --shards 4 sweep should fail here with the valid range, not
+    # mid-run (or silently never fire).
+    from repro.sim.failure import check_group_schedules
+
+    try:
+        for s in args.shards:
+            check_group_schedules(s, spec.crashes, spec.partitions, spec.byz)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+    pts = shard_sweep(spec, args.shards, args.skews)
     header = ["shards", "skew", "committed", "tput_rps", "mean_lat_us",
               "p99_lat_us", "hottest_share", "events"]
     rows = [[p.shards, p.skew, p.committed, round(p.throughput_rps),
@@ -234,6 +249,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
                    crashes=tuple(args.crash),
                    partitions=tuple(args.partition),
                    byz=tuple(args.byz))
+    if spec.shards > 1:
+        from repro.sim.failure import check_group_schedules
+
+        try:
+            check_group_schedules(spec.shards, spec.crashes,
+                                  spec.partitions, spec.byz)
+        except ValueError as e:
+            print(f"error: {e}", file=sys.stderr)
+            return 2
     res = capture_run(spec)
     if args.format == "chrome":
         doc = res.chrome()
@@ -417,7 +441,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-chain", action="store_true",
                    help="disable macro-event fusion (REPRO_CHAIN=0): "
                         "identical results, one heap entry per event")
+    # SUPPRESS: only override the global --workers when given after the
+    # subcommand, so 'repro --workers N shard' keeps working too.
+    p.add_argument("--workers", type=int, default=argparse.SUPPRESS,
+                   help="slice each farm point's groups across this many "
+                        "engine processes (repro.shard.parallel); "
+                        "per-shard results are bit-identical to 1")
     _add_safety_flags(p)
+    _add_adversarial_flags(p)
     p.set_defaults(fn=_cmd_shard)
 
     p = sub.add_parser("trace", help="span-trace one run (Perfetto JSON)")

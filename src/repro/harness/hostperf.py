@@ -121,6 +121,18 @@ SHARD_EVENT_CEILING = 375_000
 #: 384_485 / 364_708 = 1.054x.
 CHAIN_MIN_PUSH_REDUCTION = 1.03
 
+#: Slice workers for the shard-parallel reference measurement: the
+#: 8-group farm splits into this many contiguous 2-group slices.
+PARALLEL_WORKERS = 4
+
+#: Wall-clock factor the space-parallel farm must buy at
+#: :data:`PARALLEL_WORKERS` workers vs the serial engine (``--check``
+#: gate).  On hosts with fewer CPUs than workers the gate applies to
+#: ``projected_speedup`` — serial seconds over the slowest slice's
+#: *inner* seconds from a sequential-slices run — since concurrent
+#: slices on a starved host measure queueing, not the parallel design.
+FARM_PARALLEL_MIN_SPEEDUP = 3.0
+
 #: Worst acceptable wall-clock ratio (monitors on / monitors off) for
 #: the rdma reference point with ``check_invariants`` set.  The
 #: monitors subscribe to protocol-emitted safety events (``engine.
@@ -286,6 +298,97 @@ def shard_section(repeats: int = 3) -> dict[str, Any]:
             "events": result.events_executed,
             "events_per_wall_s": round(result.events_executed / best) if best else 0,
             "point": asdict(result)}
+
+
+def shard_parallel_section(serial: dict[str, Any],
+                           repeats: int = 3) -> dict[str, Any]:
+    """Run :data:`SHARD_POINT` space-parallel at :data:`PARALLEL_WORKERS`
+    slice workers and compare against the serial farm (``serial`` is
+    :func:`shard_section`'s result, reused as the timing baseline).
+
+    Four measurements:
+
+    - one serial run with the per-shard fingerprint side channel (the
+      equivalence oracle; untimed),
+    - best-of-``repeats`` parallel runs through the real process pool
+      (``wall_speedup``),
+    - one sequential-slices run (``pool_workers=1``) whose per-slice
+      *inner* seconds give ``projected_speedup`` — the honest parallel
+      bound on hosts with fewer CPUs than workers, where concurrent
+      slices would measure scheduler queueing,
+    - one monitored parallel run, which must report zero violations and
+      the same fingerprints (monitors are pure observers).
+
+    ``identical_point`` requires bit-identical per-shard fingerprints
+    AND an identical :class:`ShardPoint` minus the host-cost fields
+    (``events_executed``/``heap_pushes`` sum over worker engines;
+    ``workers`` is self-describing by design).
+    """
+    from repro.harness.shardsweep import shard_point
+    from repro.shard.parallel import parallel_shard_point
+
+    spec = SHARD_POINT.replace(workers=PARALLEL_WORKERS)
+    serial_collect: dict[str, Any] = {}
+    serial_point = shard_point(SHARD_POINT, collect=serial_collect)
+
+    best = float("inf")
+    par_point = None
+    par_collect: dict[str, Any] = {}
+    for _ in range(max(3, repeats)):
+        collect: dict[str, Any] = {}
+        with _gc_paused():
+            t0 = time.perf_counter()
+            p = parallel_shard_point(spec, collect=collect)
+            best = min(best, time.perf_counter() - t0)
+        if par_point is None:
+            par_point, par_collect = p, collect
+        elif (par_point != p or par_collect["shard_fingerprints"]
+                != collect["shard_fingerprints"]):
+            raise AssertionError(
+                "shard-parallel point not deterministic across repeats")
+
+    # Per-slice inner seconds, best-of-2 per slice: the serial baseline
+    # is a best-of too, and the projected-speedup gate is a ratio of the
+    # two, so both sides get the same de-noising.
+    slice_secs: "list[float]" = []
+    for _ in range(2):
+        seq_collect: dict[str, Any] = {}
+        with _gc_paused():
+            parallel_shard_point(spec, collect=seq_collect, pool_workers=1)
+        secs = seq_collect["slice_seconds"]
+        slice_secs = (secs if not slice_secs
+                      else [min(a, b) for a, b in zip(slice_secs, secs)])
+
+    mon_collect: dict[str, Any] = {}
+    parallel_shard_point(spec.replace(check_invariants=True),
+                         collect=mon_collect)
+
+    host_cost = {"events_executed", "heap_pushes", "workers"}
+    serial_beh = {k: v for k, v in asdict(serial_point).items()
+                  if k not in host_cost}
+    par_beh = {k: v for k, v in asdict(par_point).items()
+               if k not in host_cost}
+    return {
+        "workers": PARALLEL_WORKERS,
+        "host_cpus": os.cpu_count() or 1,
+        "slices": [list(s) for s in par_collect["slices"]],
+        "serial_seconds": serial["seconds"],
+        "seconds": round(best, 4),
+        "wall_speedup": round(serial["seconds"] / best, 3)
+            if best else float("inf"),
+        "slice_inner_seconds": [round(s, 4) for s in slice_secs],
+        "projected_speedup": round(serial["seconds"] / max(slice_secs), 3)
+            if max(slice_secs) else float("inf"),
+        "identical_point": (
+            par_beh == serial_beh
+            and par_collect["shard_fingerprints"]
+                == serial_collect["shard_fingerprints"]
+            and mon_collect["shard_fingerprints"]
+                == serial_collect["shard_fingerprints"]),
+        "monitored_violations": len(mon_collect["violations"]),
+        "foreign_total": par_collect["foreign"],
+        "point": asdict(par_point),
+    }
 
 
 def chain_section(repeats: int = 3) -> dict[str, Any]:
@@ -490,6 +593,29 @@ def write_bench(path: pathlib.Path, repeats: int = 3,
             f"shard farm: reference point executed {farm['events']} events, "
             f"over the SHARD_EVENT_CEILING bench-smoke bound "
             f"{SHARD_EVENT_CEILING}")
+
+    par = shard_parallel_section(farm, repeats=repeats)
+    doc["shard_farm_parallel"] = par
+    if not par["identical_point"]:
+        failures.append(
+            f"shard-parallel farm: workers={par['workers']} produced "
+            "different per-shard fingerprints or a different simulated "
+            "point than the serial farm (space-partitioning must be "
+            "behaviour-preserving)")
+    if par["monitored_violations"]:
+        failures.append(
+            f"shard-parallel farm: the monitored run reported "
+            f"{par['monitored_violations']} safety violation(s)")
+    if check:
+        if par["host_cpus"] >= par["workers"]:
+            speedup, basis = par["wall_speedup"], "wall"
+        else:
+            speedup, basis = par["projected_speedup"], "projected"
+        if speedup < FARM_PARALLEL_MIN_SPEEDUP:
+            failures.append(
+                f"shard-parallel farm: {basis} speedup {speedup}x at "
+                f"workers={par['workers']} is below the "
+                f"FARM_PARALLEL_MIN_SPEEDUP bar {FARM_PARALLEL_MIN_SPEEDUP}x")
 
     chain = chain_section(repeats=repeats)
     doc["chain_fusion"] = chain

@@ -62,6 +62,10 @@ class ShardPoint:
     #: Safety violations the runtime monitors observed (0 unless the
     #: spec set ``check_invariants``; always 0 on a healthy farm).
     violations: int = 0
+    #: Slice workers that produced this point (1 = one serial engine;
+    #: k = ``repro.shard.parallel`` ran k group slices) — recorded so
+    #: BENCH artifacts are self-describing.
+    workers: int = 1
 
 
 def _percentile(sorted_vals: list[int], pct: float) -> float:
@@ -85,7 +89,8 @@ def farm_group_config(spec: RunSpec,
     return {"config": AcuerdoConfig(commit_push_period_ns=us(hb))}
 
 
-def shard_point(spec: RunSpec, heartbeat_us: Optional[int] = None) -> ShardPoint:
+def shard_point(spec: RunSpec, heartbeat_us: Optional[int] = None,
+                collect: Optional[dict] = None) -> ShardPoint:
     """Measure one shard-farm point described by ``spec``.
 
     ``spec.shards`` groups of ``spec.n`` nodes are settled, then the
@@ -93,13 +98,27 @@ def shard_point(spec: RunSpec, heartbeat_us: Optional[int] = None) -> ShardPoint
     simulated time; commits still in flight at the deadline drain for
     one extra millisecond.  Module-level and argument-picklable, so
     :func:`~repro.harness.parallel.run_points` can fan it out.
+
+    With ``spec.workers > 1`` the farm's groups are sliced across that
+    many worker processes by :func:`repro.shard.parallel.
+    parallel_shard_point` — per-shard results are bit-identical either
+    way (only the host-cost fields differ); ``collect`` is that path's
+    side channel and, when given here, is filled for the serial path
+    too (``shard_fingerprints``, ``violations``).
     """
     from repro.shard import ShardedDeployment, aggregate_client
+    from repro.sim.failure import check_group_schedules
 
     if spec.users < 1 or spec.arrival_rate <= 0:
         raise ValueError("shard_point needs spec.users >= 1 and "
                          f"spec.arrival_rate > 0, got users={spec.users}, "
                          f"arrival_rate={spec.arrival_rate}")
+    check_group_schedules(spec.shards, spec.crashes, spec.partitions,
+                          spec.byz)
+    if spec.workers > 1 and spec.shards > 1:
+        from repro.shard.parallel import parallel_shard_point
+
+        return parallel_shard_point(spec, heartbeat_us, collect=collect)
     engine = spec.make_engine()
     dep = ShardedDeployment(engine, system=spec.system, shards=spec.shards,
                             n=spec.n,
@@ -109,6 +128,15 @@ def shard_point(spec: RunSpec, heartbeat_us: Optional[int] = None) -> ShardPoint
         from repro.sim.failure import schedule_crashes
 
         schedule_crashes(engine, dep.processes(), spec.crashes)
+    if spec.partitions:
+        from repro.shard.deployment import schedule_farm_partitions
+
+        schedule_farm_partitions(dep, spec.partitions)
+    if spec.byz:
+        # check_group_schedules restricted byz to single-group farms.
+        from repro.sim.failure import schedule_byz
+
+        schedule_byz(engine, dep.groups[0], spec.byz)
     client = aggregate_client(dep, users=spec.users,
                               rate_rps=spec.arrival_rate, skew=spec.skew,
                               message_size=spec.payload_bytes)
@@ -120,8 +148,13 @@ def shard_point(spec: RunSpec, heartbeat_us: Optional[int] = None) -> ShardPoint
     elapsed_s = (engine.now - t_start) / 1e9
     lats = sorted(dep.all_latencies_ns())
     total_sub = dep.total_submitted()
-    violations = (len(engine.monitors.finish())
-                  if engine.monitors is not None else 0)
+    vio_list = (engine.monitors.finish()
+                if engine.monitors is not None else [])
+    violations = len(vio_list)
+    if collect is not None:
+        collect["shard_fingerprints"] = dep.shard_fingerprints(vio_list)
+        collect["violations"] = [str(v) for v in vio_list]
+        collect["foreign"] = dep.foreign
     return ShardPoint(
         system=spec.system,
         shards=spec.shards,
@@ -146,16 +179,25 @@ def shard_point(spec: RunSpec, heartbeat_us: Optional[int] = None) -> ShardPoint
 
 def shard_sweep(spec: RunSpec, shard_counts: Iterable[int],
                 skews: Iterable[float],
-                workers: Optional[int] = None) -> list[ShardPoint]:
+                workers: Optional[int] = None,
+                heartbeat_us: Optional[int] = None) -> list[ShardPoint]:
     """The shard-count × skew grid, in row-major (shards, skew) order.
 
     Points fan across :func:`~repro.harness.parallel.run_points`
     workers; results come back in grid order regardless of worker
     count (each point is a pure function of its spec).
+    ``heartbeat_us`` (and ``spec.workers``, the per-point slice width)
+    thread through to *every* point.  When points slice themselves
+    across processes (``spec.workers > 1``) the sweep fan-out defaults
+    to sequential so the two pools don't multiply: pass ``workers=``
+    explicitly to stack them anyway.
     """
     from repro.harness.parallel import run_points
 
-    grid = [(spec.replace(shards=s, skew=k),)
+    grid = [(spec.replace(shards=s, skew=k), heartbeat_us)
             for s in shard_counts for k in skews]
-    nworkers = workers if workers is not None else spec.workers
+    if workers is not None:
+        nworkers = workers
+    else:
+        nworkers = 1 if spec.workers > 1 else spec.workers
     return run_points(shard_point, grid, workers=nworkers)

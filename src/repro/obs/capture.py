@@ -148,7 +148,13 @@ def _capture_sharded(spec: Any, engine: Any, recorder: SpanRecorder) -> CaptureR
     from repro.harness.shardsweep import farm_group_config
     from repro.shard import ShardedDeployment, aggregate_client
     from repro.sim.engine import ms
+    from repro.sim.failure import check_group_schedules
 
+    # Fail loudly on schedules the farm cannot honour (byz, cross-group
+    # partitions, ambiguous bare node ids) — these used to be silently
+    # ignored here, the worst kind of adversarial-capture no-op.
+    check_group_schedules(spec.shards, spec.crashes, spec.partitions,
+                          spec.byz)
     dep = ShardedDeployment(engine, system=spec.system, shards=spec.shards,
                             n=spec.n, group_config=farm_group_config(spec))
     dep.settle()
@@ -156,6 +162,14 @@ def _capture_sharded(spec: Any, engine: Any, recorder: SpanRecorder) -> CaptureR
         from repro.sim.failure import schedule_crashes
 
         schedule_crashes(engine, dep.processes(), spec.crashes)
+    if spec.partitions:
+        from repro.shard.deployment import schedule_farm_partitions
+
+        schedule_farm_partitions(dep, spec.partitions)
+    if spec.byz:
+        from repro.sim.failure import schedule_byz
+
+        schedule_byz(engine, dep.groups[0], spec.byz)
     users = spec.users if spec.users >= 1 else 10_000
     rate = spec.arrival_rate if spec.arrival_rate > 0 else 100_000.0
     client = aggregate_client(dep, users=users, rate_rps=rate,

@@ -12,14 +12,22 @@ determinism argument; ``repro shard`` and
 """
 
 from repro.shard.arrivals import ARRIVAL_STREAM, aggregate_client
-from repro.shard.deployment import ShardedDeployment, default_key_of
+from repro.shard.deployment import (ShardedDeployment, default_key_of,
+                                    schedule_farm_partitions)
+from repro.shard.parallel import (SliceResult, parallel_shard_point,
+                                  run_slice, slice_ranges)
 from repro.shard.router import ShardRouter, stable_key_hash
 
 __all__ = [
     "ARRIVAL_STREAM",
     "ShardRouter",
     "ShardedDeployment",
+    "SliceResult",
     "aggregate_client",
     "default_key_of",
+    "parallel_shard_point",
+    "run_slice",
+    "schedule_farm_partitions",
+    "slice_ranges",
     "stable_key_hash",
 ]

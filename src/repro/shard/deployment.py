@@ -63,43 +63,64 @@ class ShardedDeployment:
     def __init__(self, engine: Engine, system: str = "acuerdo", shards: int = 1,
                  n: int = 3, record_deliveries: bool = False,
                  key_of: Optional[Callable[[Any], Any]] = None,
-                 group_config: "dict | Callable[[int], dict] | None" = None):
+                 group_config: "dict | Callable[[int], dict] | None" = None,
+                 group_range: "tuple[int, int] | None" = None):
         from repro.harness.factory import build_from_spec
         from repro.harness.runspec import RunSpec
 
         if shards < 1:
             raise ValueError(f"shards must be >= 1, got {shards}")
+        lo, hi = (0, shards) if group_range is None else group_range
+        if not (0 <= lo < hi <= shards):
+            raise ValueError(
+                f"group_range must be a half-open slice of 0..{shards}, "
+                f"got {group_range!r}")
         self.engine = engine
         self.system_name = system
         self.shards = shards
         self.n = n
+        self.group_range = (lo, hi)
         self.router = ShardRouter(shards)
         self.key_of = key_of or default_key_of
-        self.groups: list[BroadcastSystem] = []
+        # Slot g is None outside group_range: those groups live in other
+        # workers' slices (repro.shard.parallel) and keys routed there
+        # are counted as `foreign`, not submitted.  The router always
+        # hashes over the FULL shard count, so placement is identical
+        # whether a deployment holds all groups or a slice of them.
+        self.groups: list[Optional[BroadcastSystem]] = [None] * shards
         group_spec = RunSpec(system=system, n=n)
-        for g in range(shards):
+        for g in range(lo, hi):
             kwargs = (group_config(g) if callable(group_config)
                       else dict(group_config or {}))
             # One shard stays in the flat identity space: bit-identical
             # to the plain single-group run (see module docstring).
             scope = engine.scoped(g) if shards > 1 else nullcontext()
             with scope:
-                self.groups.append(
-                    build_from_spec(group_spec, engine,
-                                    record_deliveries=record_deliveries,
-                                    **kwargs))
+                self.groups[g] = build_from_spec(
+                    group_spec, engine, record_deliveries=record_deliveries,
+                    **kwargs)
         # Per-shard aggregation (host-side only; no engine events).
         self.submitted = [0] * shards
         self.committed = [0] * shards
         self.dropped = [0] * shards
         self.latencies_ns: list[list[int]] = [[] for _ in range(shards)]
+        #: Keys whose home group lies outside this slice's group_range
+        #: (always 0 on a full deployment).
+        self.foreign = 0
+
+    def group_ids(self) -> range:
+        """The original group indices this deployment instance holds."""
+        return range(*self.group_range)
+
+    def local_groups(self) -> "list[tuple[int, BroadcastSystem]]":
+        return [(g, self.groups[g]) for g in self.group_ids()]
 
     # ------------------------------------------------------------- lifecycle
 
     def start(self) -> None:
         """Start every group without waiting for leaders; most callers
         want :meth:`settle` (which starts and settles) instead."""
-        for group in self.groups:
+        for _g, group in self.local_groups():
             group.start()
 
     def settle(self, preseed: bool = True) -> None:
@@ -109,7 +130,7 @@ class ShardedDeployment:
         engine clock."""
         from repro.harness.factory import settle
 
-        for group in self.groups:
+        for _g, group in self.local_groups():
             settle(group, preseed=preseed)
 
     # ---------------------------------------------------------------- client
@@ -127,6 +148,14 @@ class ShardedDeployment:
     def submit_keyed(self, key: Any, payload: Any, size_bytes: int,
                      on_commit: Optional[CommitCallback] = None) -> bool:
         g = self.router.shard_of(key)
+        if self.groups[g] is None:
+            # The key's home group lives in another worker's slice.  The
+            # key and its arrival gap were still drawn — keeping every
+            # RNG stream identical to the full-farm run — but the submit
+            # is someone else's; report success so open-loop clients
+            # account nothing locally.
+            self.foreign += 1
+            return True
         self.submitted[g] += 1
         t0 = self.engine.now
 
@@ -147,7 +176,8 @@ class ShardedDeployment:
         """Every replica process across all groups (group-tagged, so a
         :class:`~repro.sim.failure.FailureInjector` accepts ``(group,
         node)`` addresses)."""
-        return [p for group in self.groups for p in group.processes()]
+        return [p for _g, group in self.local_groups()
+                for p in group.processes()]
 
     def injector(self) -> FailureInjector:
         """A failure injector spanning every group's processes."""
@@ -168,11 +198,41 @@ class ShardedDeployment:
         """Commit latencies across all shards, in commit order per shard."""
         return [lat for per_shard in self.latencies_ns for lat in per_shard]
 
+    def shard_fingerprints(self, violations: "tuple | list" = ()) -> "dict[int, str]":
+        """Digest each local group's observable state: sorted substrate
+        counters, submit/commit/drop counts, the exact latency sequence,
+        the leader id, and the group's monitor-violation count (pass the
+        run's :class:`~repro.monitors.registry.Violation` list).
+
+        Tracer counters are deliberately excluded — they are globally
+        named (``acuerdo.deliver``), not shard-scoped — so this is the
+        per-group equivalence oracle for ``repro.shard.parallel``: a
+        slice worker and the serial farm must produce bit-identical
+        digests for every group the slice owns.
+        """
+        import hashlib
+
+        vio_by_group: dict[Optional[int], int] = {}
+        for v in violations:
+            g = getattr(v, "group", None)
+            vio_by_group[g] = vio_by_group.get(g, 0) + 1
+        out = {}
+        for g, group in self.local_groups():
+            payload = repr((
+                sorted(group.substrate_counters().items()),
+                self.submitted[g], self.committed[g], self.dropped[g],
+                tuple(self.latencies_ns[g]),
+                group.leader_id(),
+                vio_by_group.get(g, 0),
+            ))
+            out[g] = hashlib.sha256(payload.encode()).hexdigest()[:16]
+        return out
+
     def metrics(self, registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
         """Per-shard and aggregate metrics under ``shard.<g>.*`` /
         ``shard.total.*`` (substrate counters re-namespaced per group)."""
         reg = registry if registry is not None else MetricsRegistry()
-        for g, group in enumerate(self.groups):
+        for g, group in self.local_groups():
             prefix = f"shard.{g}"
             reg.record(f"{prefix}.submitted", self.submitted[g])
             reg.record(f"{prefix}.committed", self.committed[g])
@@ -185,4 +245,39 @@ class ShardedDeployment:
         reg.record("shard.total.submitted", self.total_submitted())
         reg.record("shard.total.committed", self.total_committed())
         reg.record("shard.total.dropped", sum(self.dropped))
+        if self.foreign:
+            reg.record("shard.foreign", self.foreign)
         return reg
+
+
+def schedule_farm_partitions(dep: ShardedDeployment,
+                             partitions: "tuple | list",
+                             base_ns: Optional[int] = None) -> None:
+    """Apply ``RunSpec.partitions`` entries to a farm: each entry's
+    ``g:n``-scoped members name exactly one group (enforced up front by
+    :func:`~repro.sim.failure.check_group_schedules`), and the cut lands
+    on that group's substrate with the scope stripped back to bare node
+    ids.  Entries whose group falls outside ``dep.group_range`` are
+    skipped — they belong to another worker's slice."""
+    from repro.sim.engine import ms
+    from repro.sim.failure import FailureInjector, parse_partition
+
+    t0 = dep.engine.now if base_ns is None else base_ns
+    lo, hi = dep.group_range
+    for entry in partitions:
+        groups, start_ms, end_ms = parse_partition(entry)
+        members = [m for grp in groups for m in grp]
+        if dep.shards == 1:
+            target = 0
+            bare = tuple(tuple(m[1] if isinstance(m, tuple) else m
+                               for m in grp) for grp in groups)
+        else:
+            target = members[0][0]
+            bare = tuple(tuple(m[1] for m in grp) for grp in groups)
+        if not lo <= target < hi:
+            continue
+        injector = FailureInjector(dep.engine, (),
+                                   substrate=dep.groups[target].substrate)
+        injector.partition_at(t0 + ms(start_ms), *bare)
+        if end_ms is not None:
+            injector.heal_at(t0 + ms(end_ms))

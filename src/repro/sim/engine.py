@@ -252,10 +252,13 @@ class Engine:
         #: (``REPRO_CHAIN`` env, default on).  Producers also read this
         #: to pick between fused and per-event scheduling.
         self.chain_enabled: bool = chain_enabled_default()
-        # Heap entries are (time, seq, event) tuples: seq is unique, so
-        # tuple comparison resolves on the first two ints and never calls
-        # into Event — the heap sift runs entirely in C.
-        self._heap: list[tuple[int, int, Event]] = []
+        # Heap entries are (time, seq, event, fn, args) tuples: seq is
+        # unique, so tuple comparison resolves on the first two ints and
+        # never calls into Event — the heap sift runs entirely in C.
+        # The handler and its args are preloaded into the entry so the
+        # run() loop dispatches without per-event attribute lookups;
+        # ``fn is None`` tags a compiled chain (kind-indexed dispatch).
+        self._heap: list[tuple] = []
         self._seq: int = 0
         self._cancelled_in_heap: int = 0
         self._rngs: dict[str, random.Random] = {}
@@ -352,7 +355,7 @@ class Engine:
         self._seq = seq + 1
         ev = Event(time, seq, fn, args)
         ev._engine = self
-        heappush(self._heap, (ev.time, seq, ev))
+        heappush(self._heap, (time, seq, ev, fn, args))
         self.heap_pushes += 1
         return ev
 
@@ -409,7 +412,7 @@ class Engine:
         self._seq = base + (1 if dynamic else len(steps))
         ch = _Chain(steps, base, dynamic)
         ch._engine = self
-        heappush(self._heap, (steps[0][0], base, ch))
+        heappush(self._heap, (steps[0][0], base, ch, None, None))
         self.heap_pushes += 1
         return ch
 
@@ -490,24 +493,27 @@ class Engine:
             if bounded and executed >= max_events:
                 self.events_executed += executed
                 return executed
-            entry = heap[0]
-            ev = entry[2]
+            # One tuple unpack reads everything the loop body needs:
+            # the handler and its args are preloaded at schedule time,
+            # so the hot path never touches an Event attribute beyond
+            # the cancellation flag, and ``fn is None`` dispatches
+            # chains without an isinstance/class test.
+            time, _seq, ev, fn, args = heap[0]
             if ev.cancelled:
                 pop(heap)
                 ev._popped = True
                 self._cancelled_in_heap -= 1
                 continue
-            time = entry[0]
             if time > horizon:
                 break
             pop(heap)
             ev._popped = True
-            if ev.__class__ is _Chain:
+            if fn is None:
                 executed += self._exec_chain(
                     ev, horizon, (max_events - executed) if bounded else -1)
                 continue
             self.now = time
-            ev.fn(*ev.args)
+            fn(*args)
             executed += 1
         self.events_executed += executed
         if until is not None and self.now < until:
@@ -564,7 +570,7 @@ class Engine:
                     or (heap and (heap[0][0] < nt
                                   or (heap[0][0] == nt and heap[0][1] < seq)))):
                 chain._popped = False
-                heappush(heap, (nt, seq, chain))
+                heappush(heap, (nt, seq, chain, None, None))
                 self.heap_pushes += 1
                 return executed
 

@@ -92,13 +92,17 @@ def parse_crash(text: str) -> "tuple[int | tuple[int, int], float]":
 
 def parse_partition(
         text: str,
-) -> "tuple[tuple[tuple[int, ...], ...], float, float | None]":
+) -> "tuple[tuple[tuple, ...], float, float | None]":
     """Parse one partition-schedule entry ``"GROUPS@MS"`` or
     ``"GROUPS@MS-MS"`` into ``(groups, start_ms, end_ms_or_None)``.
 
     ``GROUPS`` is ``|``-separated connectivity groups of comma-separated
     node ids — e.g. ``"0,1|2@5"`` (cut node 2 off from {0, 1} at 5 ms,
-    never heal) or ``"0,1|2@5-20"`` (same cut, healed at 20 ms).
+    never heal) or ``"0,1|2@5-20"`` (same cut, healed at 20 ms).  On a
+    sharded farm, members use the hierarchical ``g:n`` spelling
+    (``"2:0,2:1|2:2@5"`` cuts shard 2's node 2 off); all members of one
+    entry must then name the same shard — a partition cuts one group's
+    substrate, validated by :func:`check_group_schedules`.
     """
     groups_part, sep, when = text.rpartition("@")
     if not sep or not groups_part:
@@ -121,15 +125,78 @@ def parse_partition(
         for part in grp.split(","):
             part = part.strip()
             try:
-                members.append(int(part))
+                members.append(parse_addr(part))
             except ValueError:
                 raise ValueError(
                     f"bad node id {part!r} in partition {text!r}; groups "
-                    f"are comma-separated ints split by '|'") from None
+                    f"are comma-separated node ids ('1') or shard-scoped "
+                    f"'g:n' addresses split by '|'") from None
         if not members:
             raise ValueError(f"empty connectivity group in partition {text!r}")
         groups.append(tuple(members))
     return tuple(groups), start_ms, end_ms
+
+
+def check_group_schedules(shards: int, crashes: Iterable[str] = (),
+                          partitions: Iterable[str] = (),
+                          byz: Iterable[str] = ()) -> None:
+    """Validate the shard-group component of failure schedules against a
+    deployment of ``shards`` consensus groups, *before* anything runs.
+
+    Raises ``ValueError`` naming the valid group range when a schedule
+    addresses a group the deployment does not have, uses a bare node id
+    that would be ambiguous across groups, spans several groups in one
+    partition cut, or requests an adversarial mode the farm does not
+    support — instead of failing mid-run (or, worse, silently never
+    firing).  The ``repro shard`` / ``repro trace`` CLIs call this at
+    parse time; :func:`~repro.harness.shardsweep.shard_point` and the
+    sharded capture path call it again as a run-level backstop.
+    """
+    valid = (f"valid groups are 0..{shards - 1}" if shards > 1
+             else "a 1-shard deployment only has group 0")
+
+    def _check_group(entry: str, what: str, g: int) -> None:
+        if not 0 <= g < shards:
+            raise ValueError(
+                f"{what} schedule {entry!r} names group {g}, but the "
+                f"deployment has {shards} shard(s); {valid}")
+
+    for entry in crashes:
+        addr, _ = parse_crash(entry)
+        if isinstance(addr, tuple):
+            _check_group(entry, "crash", addr[0])
+        elif shards > 1:
+            raise ValueError(
+                f"crash schedule {entry!r} uses a bare node id, which is "
+                f"ambiguous across {shards} groups; address it as "
+                f"'group:node@ms' ({valid})")
+    for entry in partitions:
+        groups, _, _ = parse_partition(entry)
+        members = [m for grp in groups for m in grp]
+        scoped = sorted({m[0] for m in members if isinstance(m, tuple)})
+        for g in scoped:
+            _check_group(entry, "partition", g)
+        if shards > 1:
+            if any(not isinstance(m, tuple) for m in members):
+                raise ValueError(
+                    f"partition schedule {entry!r} uses bare node ids, "
+                    f"which are ambiguous across {shards} groups; spell "
+                    f"members as 'g:n' ({valid})")
+            if len(scoped) > 1:
+                raise ValueError(
+                    f"partition schedule {entry!r} spans groups {scoped}; "
+                    f"a partition cuts one group's substrate at a time — "
+                    f"use one entry per group")
+    for entry in byz:
+        _, addr, _ = parse_byz(entry)
+        if shards > 1:
+            raise ValueError(
+                f"byz schedule {entry!r}: Byzantine attacks are not "
+                f"supported on multi-group farms yet (shards={shards}); "
+                f"run the attack against a single group (shards=1) or "
+                f"use 'repro shootout --byz'")
+        if isinstance(addr, tuple):
+            _check_group(entry, "byz", addr[0])
 
 
 class FailureInjector:
@@ -324,6 +391,7 @@ from repro.sim.byzantine import (  # noqa: E402
 
 __all__ = [
     "Addr", "FailureInjector", "parse_addr", "format_addr", "parse_crash",
-    "parse_partition", "schedule_crashes", "schedule_partitions",
+    "parse_partition", "check_group_schedules", "schedule_crashes",
+    "schedule_partitions",
     "BYZ_MODES", "ByzantineInjector", "parse_byz", "schedule_byz",
 ]
